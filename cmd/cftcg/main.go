@@ -1,0 +1,204 @@
+// Command cftcg is the CFTCG command line: generate fuzzing code for a
+// model, run the model-oriented fuzzing loop, replay suites for coverage,
+// convert binary cases to CSV, and export the built-in benchmarks.
+//
+// Usage:
+//
+//	cftcg emit    <model.slx>                 print generated fuzz code
+//	cftcg fuzz    <model.slx> [flags]         run fuzzing, write the suite
+//	cftcg cov     <model.slx> <case.bin>...   replay cases, report coverage
+//	cftcg convert <model.slx> <case.bin>      print one case as CSV
+//	cftcg trace   <model.slx> <case.bin>      dump a case as a VCD waveform
+//	cftcg info    <model.slx>                 model statistics
+//	cftcg export  <benchmark> <out.slx>       write a built-in benchmark
+//
+// `<model.slx>` may also name a built-in benchmark (e.g. SolarPV).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/core"
+	"cftcg/internal/fuzz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "emit":
+		sys := loadSystem(arg(args, 0))
+		code := sys.GenerateFuzzCode()
+		fmt.Println(code.Driver)
+		fmt.Println(code.Init)
+		fmt.Println(code.Step)
+
+	case "fuzz":
+		fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+		budget := fs.Duration("budget", 5*time.Second, "wall-clock budget")
+		execs := fs.Int64("execs", 0, "execution budget (0 = budget only)")
+		seed := fs.Int64("seed", 1, "random seed")
+		mode := fs.String("mode", "cftcg", "cftcg | fuzz-only | no-iterdiff")
+		out := fs.String("o", "", "output directory for the suite")
+		maxTuples := fs.Int("max-tuples", 64, "input length cap in tuples")
+		workers := fs.Int("workers", 1, "parallel fuzzing workers")
+		minimize := fs.Bool("minimize", false, "greedily minimize the suite before writing")
+		trim := fs.Bool("trim", false, "shorten each emitted case without losing its coverage")
+		seeds := fs.String("seeds", "", "directory of .bin cases to seed the corpus (resume a campaign)")
+		check(fs.Parse(args[1:]))
+		sys := loadSystem(arg(args, 0))
+
+		var m fuzz.Mode
+		switch *mode {
+		case "cftcg":
+			m = fuzz.ModeModelOriented
+		case "fuzz-only":
+			m = fuzz.ModeFuzzOnly
+		case "no-iterdiff":
+			m = fuzz.ModeNoIterDiff
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		opts := fuzz.Options{
+			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
+		}
+		if *seeds != "" {
+			seedInputs, err := core.ReadSeedDir(*seeds)
+			check(err)
+			opts.SeedInputs = seedInputs
+			fmt.Printf("seeded corpus with %d case(s) from %s\n", len(seedInputs), *seeds)
+		}
+		var res *fuzz.Result
+		if *workers > 1 {
+			res = fuzz.RunParallel(sys.Compiled, opts, *workers)
+		} else {
+			res = sys.Fuzz(opts)
+		}
+		if *minimize {
+			res.Suite.Cases = fuzz.Minimize(sys.Compiled, res.Suite.Cases)
+		}
+		if *trim {
+			for i := range res.Suite.Cases {
+				res.Suite.Cases[i].Data = fuzz.Trim(sys.Compiled, res.Suite.Cases[i].Data)
+			}
+		}
+		fmt.Printf("executions: %d, model iterations: %d, corpus: %d, cases: %d\n",
+			res.Execs, res.Steps, res.Corpus, len(res.Suite.Cases))
+		fmt.Println(res.Report)
+		if len(res.Violations) > 0 {
+			fmt.Printf("assertion violations: %d input(s) reproduce them\n", len(res.Violations))
+		}
+		if *out != "" {
+			check(sys.WriteSuite(*out, res.Suite))
+			fmt.Printf("suite written to %s\n", *out)
+		}
+
+	case "cov":
+		asJSON := false
+		files := args[1:]
+		if len(files) > 0 && files[0] == "-json" {
+			asJSON = true
+			files = files[1:]
+		}
+		sys := loadSystem(arg(args, 0))
+		var cases [][]byte
+		for _, p := range files {
+			data, err := os.ReadFile(p)
+			check(err)
+			cases = append(cases, data)
+		}
+		if len(cases) == 0 {
+			fail(fmt.Errorf("cov: no case files given"))
+		}
+		rep, rec := sys.Replay(cases)
+		if asJSON {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			check(err)
+			fmt.Println(string(out))
+		} else {
+			fmt.Println(rep)
+			fmt.Print(rec.FormatTable())
+		}
+
+	case "convert":
+		sys := loadSystem(arg(args, 0))
+		data, err := os.ReadFile(arg(args, 1))
+		check(err)
+		check(sys.ConvertCase(os.Stdout, data))
+
+	case "trace":
+		sys := loadSystem(arg(args, 0))
+		data, err := os.ReadFile(arg(args, 1))
+		check(err)
+		check(sys.Trace(os.Stdout, data))
+
+	case "info":
+		sys := loadSystem(arg(args, 0))
+		lay := sys.Layout()
+		fmt.Printf("model %s: %d branch slots, %d decisions, %d conditions\n",
+			sys.Model.Name, sys.BranchCount(),
+			len(sys.Compiled.Plan.Decisions), len(sys.Compiled.Plan.Conds))
+		fmt.Printf("tuple: %d bytes\n", lay.TupleSize)
+		for _, f := range lay.Fields {
+			fmt.Printf("  +%d %-12s %s\n", f.Offset, f.Name, f.Type)
+		}
+
+	case "export":
+		e, err := benchmodels.Get(arg(args, 0))
+		check(err)
+		sys, err := core.FromModel(e.Build())
+		check(err)
+		check(sys.Save(arg(args, 1)))
+		fmt.Printf("wrote %s\n", arg(args, 1))
+
+	default:
+		usage()
+	}
+}
+
+// loadSystem resolves the argument as a file path or a built-in benchmark
+// name.
+func loadSystem(name string) *core.System {
+	if _, err := os.Stat(name); err == nil {
+		sys, err := core.Load(name)
+		check(err)
+		return sys
+	}
+	if e, err := benchmodels.Get(name); err == nil {
+		sys, err := core.FromModel(e.Build())
+		check(err)
+		return sys
+	}
+	fail(fmt.Errorf("%q is neither a model file nor a built-in benchmark (%v)", name, benchmodels.Names()))
+	return nil
+}
+
+func arg(args []string, i int) string {
+	if i >= len(args) {
+		usage()
+	}
+	return args[i]
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cftcg emit|fuzz|cov|convert|trace|info|export ... (see package doc)")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cftcg:", err)
+	os.Exit(1)
+}

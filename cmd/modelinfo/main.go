@@ -1,0 +1,79 @@
+// Command modelinfo prints Table-2-style statistics (branch and block
+// counts, tuple layout) for the built-in benchmarks or for a model file.
+//
+// Usage:
+//
+//	modelinfo             all built-in benchmarks
+//	modelinfo <model>     one benchmark or .slx-like file
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+	"cftcg/internal/core"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		one(os.Args[1])
+		return
+	}
+	fmt.Printf("%-9s %-36s %8s %8s %8s %8s %6s\n",
+		"Model", "Functionality", "#Branch", "(paper)", "#Block", "(paper)", "Tuple")
+	for _, e := range benchmodels.All() {
+		m := e.Build()
+		c, err := codegen.Compile(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-9s %-36s %8d %8d %8d %8d %5dB\n",
+			e.Name, e.Functionality, c.Plan.NumBranches, e.PaperBranch,
+			m.Root.CountBlocks(), e.PaperBlock, c.Prog.TupleSize())
+	}
+}
+
+func one(name string) {
+	var sys *core.System
+	if _, err := os.Stat(name); err == nil {
+		s, err := core.Load(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelinfo:", err)
+			os.Exit(1)
+		}
+		sys = s
+	} else {
+		e, err := benchmodels.Get(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelinfo:", err)
+			os.Exit(1)
+		}
+		s, err := core.FromModel(e.Build())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "modelinfo:", err)
+			os.Exit(1)
+		}
+		sys = s
+	}
+	plan := sys.Compiled.Plan
+	fmt.Printf("model %s\n", sys.Model.Name)
+	fmt.Printf("  blocks:     %d\n", sys.Model.Root.CountBlocks())
+	fmt.Printf("  branches:   %d (%d decisions, %d conditions)\n",
+		plan.NumBranches, len(plan.Decisions), len(plan.Conds))
+	lay := sys.Layout()
+	fmt.Printf("  tuple:      %d bytes\n", lay.TupleSize)
+	for _, f := range lay.Fields {
+		fmt.Printf("    +%-3d %-12s %s\n", f.Offset, f.Name, f.Type)
+	}
+	fmt.Printf("  decisions by instrumentation mode:\n")
+	byMode := map[byte]int{}
+	for i := range plan.Decisions {
+		byMode[plan.Decisions[i].Kind.Mode()]++
+	}
+	for _, mode := range []byte{'a', 'b', 'c', 'd'} {
+		fmt.Printf("    (%c) %d\n", mode, byMode[mode])
+	}
+}

@@ -1,0 +1,3 @@
+module cftcg
+
+go 1.22

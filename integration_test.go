@@ -1,0 +1,78 @@
+package cftcg_test
+
+import (
+	"testing"
+	"time"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+	"cftcg/internal/fuzz"
+	"cftcg/internal/harness"
+)
+
+// TestHeadlineResult guards the paper's central claim end to end: on every
+// benchmark model, a short CFTCG campaign reaches strictly more decision
+// coverage than both baselines get with the same budget. Thresholds are
+// deliberately loose — this is a regression tripwire, not a benchmark.
+func TestHeadlineResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign comparison skipped in -short mode")
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Budget = 700 * time.Millisecond
+	cfg.Repetitions = 1
+	tools := []harness.Tool{harness.ToolSLDV, harness.ToolSimCoTest, harness.ToolCFTCG}
+
+	for _, e := range benchmodels.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			mr, err := harness.RunModel(e, tools, cfg)
+			if err != nil {
+				t.Fatalf("RunModel: %v", err)
+			}
+			cftcg := mr.Results[harness.ToolCFTCG]
+			sldv := mr.Results[harness.ToolSLDV]
+			sim := mr.Results[harness.ToolSimCoTest]
+			t.Logf("decision%%: CFTCG %.1f, SLDV %.1f, SimCoTest %.1f",
+				cftcg.Decision, sldv.Decision, sim.Decision)
+			if cftcg.Decision <= sldv.Decision {
+				t.Errorf("CFTCG (%.1f%%) did not beat SLDV (%.1f%%)", cftcg.Decision, sldv.Decision)
+			}
+			if cftcg.Decision <= sim.Decision {
+				t.Errorf("CFTCG (%.1f%%) did not beat SimCoTest (%.1f%%)", cftcg.Decision, sim.Decision)
+			}
+			if cftcg.Decision < 60 {
+				t.Errorf("CFTCG coverage collapsed: %.1f%%", cftcg.Decision)
+			}
+		})
+	}
+}
+
+// TestFuzzOnlyAblationDirection guards Figure 8's direction: model-oriented
+// fuzzing never loses to the generic-fuzzer ablation at equal budget.
+func TestFuzzOnlyAblationDirection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation skipped in -short mode")
+	}
+	for _, name := range []string{"SolarPV", "TWC"} {
+		e, err := benchmodels.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := codegen.Compile(e.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := fuzz.NewEngine(c, fuzz.Options{Seed: 1, MaxExecs: 15000}).Run()
+		only := fuzz.NewEngine(c, fuzz.Options{Seed: 1, Mode: fuzz.ModeFuzzOnly, MaxExecs: 15000}).Run()
+		t.Logf("%s: CFTCG %.1f%%/%.1f%%, fuzz-only %.1f%%/%.1f%% (DC/CC)",
+			name, full.Report.Decision(), full.Report.Condition(),
+			only.Report.Decision(), only.Report.Condition())
+		if full.Report.Condition() < only.Report.Condition() {
+			t.Errorf("%s: condition coverage regressed vs fuzz-only", name)
+		}
+		if full.Report.Decision()+5 < only.Report.Decision() {
+			t.Errorf("%s: decision coverage far below fuzz-only", name)
+		}
+	}
+}

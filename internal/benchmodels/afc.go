@@ -1,0 +1,104 @@
+package benchmodels
+
+import (
+	"cftcg/internal/model"
+)
+
+func init() {
+	register(Entry{
+		Name:          "AFC",
+		Functionality: "Engine air-fuel control system",
+		Build:         BuildAFC,
+		PaperBranch:   35,
+		PaperBlock:    125,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{67, 64, 11},
+			SimCoTest: ToolCoverage{72, 68, 11},
+			CFTCG:     ToolCoverage{83, 79, 22},
+		},
+	})
+}
+
+// BuildAFC reconstructs the engine air-fuel controller: a mostly continuous
+// feedback loop (fuel map lookup, PI trim with anti-windup, rate limiting)
+// with a mode selector. Its logic is dominated by numeric regions rather
+// than discrete state, which is why all three tools land closer together on
+// this model (Table 3).
+func BuildAFC() *model.Model {
+	b := model.NewBuilder("AFC")
+	throttle := b.Inport("Throttle", model.Float64) // percent
+	rpm := b.Inport("RPM", model.Float64)
+	o2 := b.Inport("O2", model.Float64) // lambda sensor voltage
+
+	// Input conditioning.
+	thr := b.Saturation(throttle, 0, 100)
+	rpmSat := b.Saturation(rpm, 0, 8000)
+
+	// Base fuel from the map: fuel per airflow region.
+	baseFuel := b.Add("Lookup1D", "fuelMap", model.Params{
+		"Breakpoints": []float64{500, 1500, 3000, 5000, 7000},
+		"Table":       []float64{2.0, 4.5, 8.0, 12.0, 14.5},
+	}).From(rpmSat).Out(0)
+
+	// Operating mode: startup (low rpm), power enrichment (high throttle),
+	// else closed-loop.
+	ifb := b.If("modeSel", []string{
+		"u1 < 800.0",
+		"u2 > 80.0",
+	}, rpmSat, thr)
+
+	// Closed-loop PI trim on the O2 error (only integrates in closed loop).
+	o2err := b.Sub(b.Const(0.45), b.Saturation(o2, 0, 1))
+	trimGain := b.Gain(o2err, 0.8)
+	trim := b.Add("DiscreteIntegrator", "piTrim", model.Params{
+		"K": 2.0, "Lower": -0.3, "Upper": 0.3,
+	}).From(trimGain).Out(0)
+
+	// Per-mode fuel command, merged through mode action subsystems.
+	merge := b.Add("Merge", "fuelMerge", model.Params{"Inputs": 3, "Init": 3.0})
+
+	_, startup := b.ActionSubsystem("Startup", ifb.Out(0))
+	sb := startup.Inport("base", model.Float64)
+	startup.Outport("cmd", model.Float64, startup.Gain(sb, 1.4)).Block().Params["Init"] = 3.0
+
+	_, enrich := b.ActionSubsystem("PowerEnrich", ifb.Out(1))
+	eb := enrich.Inport("base", model.Float64)
+	et := enrich.Inport("thr", model.Float64)
+	boost := enrich.Add2(enrich.Gain(eb, 1.15), enrich.Gain(et, 0.02))
+	enrich.Outport("cmd", model.Float64, boost).Block().Params["Init"] = 3.0
+
+	_, closed := b.ActionSubsystem("ClosedLoop", ifb.Out(2))
+	cb := closed.Inport("base", model.Float64)
+	ct := closed.Inport("trim", model.Float64)
+	corrected := closed.Mul(cb, closed.Add2(closed.Const(1.0), ct))
+	closed.Outport("cmd", model.Float64, corrected).Block().Params["Init"] = 3.0
+
+	// Wire action subsystems' data inputs and the merge.
+	su := b.Graph().BlockByName("Startup")
+	eu := b.Graph().BlockByName("PowerEnrich")
+	cu := b.Graph().BlockByName("ClosedLoop")
+	b.Connect(baseFuel, model.PortRef{Block: su.ID, Port: 1})
+	b.Connect(baseFuel, model.PortRef{Block: eu.ID, Port: 1})
+	b.Connect(thr, model.PortRef{Block: eu.ID, Port: 2})
+	b.Connect(baseFuel, model.PortRef{Block: cu.ID, Port: 1})
+	b.Connect(trim, model.PortRef{Block: cu.ID, Port: 2})
+	b.Connect(model.PortRef{Block: su.ID, Port: 0}, merge.In(0))
+	b.Connect(model.PortRef{Block: eu.ID, Port: 0}, merge.In(1))
+	b.Connect(model.PortRef{Block: cu.ID, Port: 0}, merge.In(2))
+
+	// Injector command: rate limited and bounded.
+	cmd := b.Add("RateLimiter", "injSlew", model.Params{
+		"Rising": 0.5, "Falling": -0.8,
+	}).From(merge.Out(0)).Out(0)
+	out := b.Saturation(cmd, 0.5, 18)
+
+	// Sensor plausibility: lambda voltage out of range.
+	fault := b.Or(
+		b.Rel("<", o2, b.Const(0.02)),
+		b.Rel(">", o2, b.Const(0.98)),
+	)
+
+	b.Outport("FuelCmd", model.Float64, out)
+	b.Outport("SensorFault", model.Bool, fault)
+	return b.Model()
+}

@@ -1,0 +1,153 @@
+package benchmodels
+
+import (
+	"fmt"
+
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "CPUTask",
+		Functionality: "AutoSAR CPU task dispatch system",
+		Build:         BuildCPUTask,
+		PaperBranch:   107,
+		PaperBlock:    275,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{89, 72, 42},
+			SimCoTest: ToolCoverage{72, 56, 21},
+			CFTCG:     ToolCoverage{100, 100, 100},
+		},
+	})
+}
+
+// BuildCPUTask reconstructs the AutoSAR task-dispatch benchmark. The model
+// keeps an internal task queue; several branches fire only once the queue
+// is completely full — the paper highlights that reaching them requires
+// eight edge-triggered submissions, trivial for tuple-repeating fuzzing but
+// out of reach for depth-limited solving and slow simulation.
+func BuildCPUTask() *model.Model {
+	b := model.NewBuilder("CPUTask")
+	op := b.Inport("Op", model.Int8) // 0 tick, 1 submit, 2 complete, 3 abort
+	tid := b.Inport("TaskID", model.UInt8)
+	prio := b.Inport("Prio", model.UInt8)
+
+	// Queue manager: submissions count only on a rising Op edge (a level
+	// held at "submit" enqueues once), which is what makes queue-full
+	// branches deep.
+	qm := b.Matlab("queueMgr", `
+input  int8  op;
+input  uint8 tid;
+input  uint8 prio;
+output int32 qcount = 0;
+output bool  full = false;
+output bool  accepted = false;
+output int32 dropped = 0;
+state  int32 count = 0;
+state  int32 drops = 0;
+state  int8  prevOp = 0;
+state  int32 maxPrio = 0;
+if (op == 1 && prevOp ~= 1) {
+    if (count >= 8) {
+        drops = drops + 1;
+    } else {
+        count = count + 1;
+        accepted = true;
+        if (prio > maxPrio) { maxPrio = prio; }
+    }
+}
+if (op == 2 && count > 0) { count = count - 1; }
+if (op == 3) { count = 0; maxPrio = 0; }
+prevOp = op;
+qcount = count;
+dropped = drops;
+if (count >= 8) { full = true; }
+`, op, tid, prio)
+
+	dispatcher := &stateflow.Chart{
+		Name: "dispatcher",
+		Inputs: []stateflow.Var{
+			{Name: "qn", Type: model.Int32},
+			{Name: "full", Type: model.Bool},
+			{Name: "pr", Type: model.UInt8},
+			{Name: "opc", Type: model.Int8},
+		},
+		Outputs: []stateflow.Var{
+			{Name: "mode", Type: model.Int32, Init: 0},
+			{Name: "switches", Type: model.Int32, Init: 0},
+		},
+		Locals: []stateflow.Var{{Name: "slice", Type: model.Int32}},
+		States: []*stateflow.State{
+			{Name: "Idle", Entry: "mode = 0;"},
+			{Name: "Running", Entry: "mode = 1; slice = 0;", During: "slice = slice + 1;"},
+			{Name: "Preempted", Entry: "mode = 2; switches = switches + 1;"},
+			{Name: "Overload", Entry: "mode = 3;"},
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "Idle", To: "Running", Guard: "qn > 0", Priority: 1},
+			{From: "Running", To: "Preempted", Guard: "pr >= 200 && qn > 1", Priority: 1},
+			{From: "Running", To: "Overload", Guard: "full", Priority: 2},
+			{From: "Running", To: "Idle", Guard: "qn == 0", Priority: 3},
+			{From: "Preempted", To: "Running", Guard: "slice >= 2 || opc == 2", Priority: 1},
+			{From: "Overload", To: "Running", Guard: "!full && qn > 0", Priority: 1},
+			{From: "Overload", To: "Idle", Guard: "qn == 0", Priority: 2},
+		},
+		Initial: "Idle",
+	}
+	disp := b.Chart("dispatcher", dispatcher, qm.Out(0), qm.Out(1), prio, op)
+
+	// Per-core load tracking: two cores selected by task-ID parity, each an
+	// enabled subsystem with a bounded load integrator and thermal relay.
+	parityBit := b.Add("Bitwise", "parity", model.Params{"Op": "AND"})
+	b.Connect(tid, parityBit.In(0))
+	b.Connect(b.ConstT(model.UInt8, 1), parityBit.In(1))
+	loads := make([]model.PortRef, 2)
+	for core := 0; core < 2; core++ {
+		want := b.Rel("==", parityBit.Out(0), b.ConstT(model.UInt8, float64(core)))
+		running := b.Rel("==", disp.Out(0), b.ConstT(model.Int32, 1))
+		en := b.And(want, running)
+		h, sub := b.EnabledSubsystem(fmt.Sprintf("Core%d", core), b.Cast(en, model.Int8))
+		p := sub.Inport("p", model.UInt8)
+		// Load rises with priority pressure above the nominal 50 and
+		// drains below it, so both integrator bounds are reachable.
+		pressure := sub.Sub(sub.Cast(p, model.Float64), sub.Const(50))
+		load := sub.Add("DiscreteIntegrator", "loadInt",
+			model.Params{"K": 2.0, "Lower": 0.0, "Upper": 100.0}).From(pressure).Out(0)
+		hot := sub.Add("Relay", "thermal", model.Params{
+			"OnPoint": 80.0, "OffPoint": 40.0, "OnValue": 1.0, "OffValue": 0.0,
+		}).From(load).Out(0)
+		sub.Outport("load", model.Float64, load).Block().Params["Init"] = 0.0
+		sub.Outport("hot", model.Float64, hot).Block().Params["Init"] = 0.0
+		b.Connect(prio, h.In(1))
+		loads[core] = h.Out(0)
+	}
+	worst := b.MinMax("max", loads[0], loads[1])
+
+	// Load-band monitor: the watchdog classifies utilization into bands.
+	band := b.Matlab("loadBand", `
+input  float64 load;
+output int32 band = 0;
+if (load > 25.0) {
+    if (load > 50.0) {
+        if (load > 75.0) { band = 3; } else { band = 2; }
+    } else {
+        band = 1;
+    }
+}
+`, worst)
+
+	overloadAlarm := b.And(
+		qm.Out(1),
+		b.Rel("==", disp.Out(0), b.ConstT(model.Int32, 3)),
+		b.Rel(">", worst, b.Const(90)),
+	)
+
+	b.Outport("QueueLen", model.Int32, qm.Out(0))
+	b.Outport("Mode", model.Int32, disp.Out(0))
+	b.Outport("Dropped", model.Int32, qm.Out(3))
+	b.Outport("WorstLoad", model.Float64, worst)
+	b.Outport("LoadBand", model.Int32, band.Out(0))
+	b.Outport("Alarm", model.Bool, overloadAlarm)
+	return b.Model()
+}

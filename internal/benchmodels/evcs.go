@@ -1,0 +1,121 @@
+package benchmodels
+
+import (
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "EVCS",
+		Functionality: "Electric vehicle charging system",
+		Build:         BuildEVCS,
+		PaperBranch:   89,
+		PaperBlock:    152,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{80, 63, 21},
+			SimCoTest: ToolCoverage{80, 63, 21},
+			CFTCG:     ToolCoverage{92, 93, 83},
+		},
+	})
+}
+
+// BuildEVCS reconstructs the EV charging system: a session state machine
+// (plug, authorize, charge, balance, complete) over electrical monitors.
+// The authorization step demands a specific PIN-like code and the balancing
+// phase triggers only in a narrow state-of-charge window.
+func BuildEVCS() *model.Model {
+	b := model.NewBuilder("EVCS")
+	plugged := b.Inport("Plugged", model.Int8)
+	authCode := b.Inport("AuthCode", model.Int32)
+	current := b.Inport("Current", model.Float64)
+	tempC := b.Inport("TempC", model.Float64)
+
+	// Electrical conditioning.
+	iSat := b.Saturation(current, 0, 63)
+	ripple := b.Add("DeadZone", "ripple", model.Params{"Start": -0.5, "End": 0.5}).
+		From(b.Sub(iSat, b.Add("UnitDelay", "iPrev", model.Params{"Init": 0.0, "Type": model.Float64}).From(iSat).Out(0))).Out(0)
+	overTemp := b.Add("Relay", "thermal", model.Params{
+		"OnPoint": 70.0, "OffPoint": 55.0, "OnValue": 1.0, "OffValue": 0.0,
+	}).From(tempC).Out(0)
+
+	authOK := b.Rel("==", authCode, b.ConstT(model.Int32, 4096))
+
+	// State of charge follows the *granted* current (wired below, after the
+	// session chart computes the grant) with a 1 A standing drain, so the
+	// battery discharges when idle and both integrator bounds are live.
+	// The explicit Type breaks the type-inference cycle through the chart.
+	socInt := b.Add("DiscreteIntegrator", "soc", model.Params{
+		"K": 2.0, "Lower": 0.0, "Upper": 100.0, "Type": model.Float64,
+	})
+	soc := socInt.Out(0)
+
+	session := &stateflow.Chart{
+		Name: "session",
+		Inputs: []stateflow.Var{
+			{Name: "plug", Type: model.Int8},
+			{Name: "auth", Type: model.Bool},
+			{Name: "amps", Type: model.Float64},
+			{Name: "soc", Type: model.Float64},
+			{Name: "hot", Type: model.Bool},
+		},
+		Outputs: []stateflow.Var{
+			{Name: "phase", Type: model.Int32, Init: 0},
+			{Name: "sessions", Type: model.Int32, Init: 0},
+		},
+		Locals: []stateflow.Var{{Name: "authTries", Type: model.Int32}},
+		States: []*stateflow.State{
+			{Name: "Idle", Entry: "phase = 0;"},
+			{Name: "Plugged", Entry: "phase = 1; authTries = 0;", During: "authTries = authTries + 1;"},
+			{Name: "Charging", Entry: "phase = 2;"},
+			{Name: "Balancing", Entry: "phase = 3;"},
+			{Name: "Complete", Entry: "phase = 4; sessions = sessions + 1;"},
+			{Name: "Fault", Entry: "phase = 5;"},
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "Idle", To: "Plugged", Guard: "plug ~= 0", Priority: 1},
+			{From: "Plugged", To: "Charging", Guard: "auth", Priority: 1},
+			{From: "Plugged", To: "Fault", Guard: "authTries > 10", Priority: 2},
+			{From: "Plugged", To: "Idle", Guard: "plug == 0", Priority: 3},
+			{From: "Charging", To: "Balancing", Guard: "soc >= 80.0 && soc < 95.0 && amps < 10.0", Priority: 1},
+			{From: "Charging", To: "Fault", Guard: "hot", Priority: 2},
+			{From: "Charging", To: "Idle", Guard: "plug == 0", Priority: 3},
+			{From: "Balancing", To: "Complete", Guard: "soc >= 95.0", Priority: 1},
+			{From: "Balancing", To: "Charging", Guard: "amps >= 20.0", Priority: 2},
+			{From: "Complete", To: "Idle", Guard: "plug == 0", Priority: 1},
+			{From: "Fault", To: "Idle", Guard: "plug == 0 && !hot", Priority: 1},
+		},
+		Initial: "Idle",
+	}
+	ch := b.Chart("session", session, plugged, authOK, iSat, soc, b.Cast(overTemp, model.Bool))
+
+	// Demand limit: charging draws full current, balancing a trickle.
+	charging := b.Rel("==", ch.Out(0), b.ConstT(model.Int32, 2))
+	balancing := b.Rel("==", ch.Out(0), b.ConstT(model.Int32, 3))
+	grant := b.Switch(charging, iSat, b.Switch(balancing, b.MinMax("min", iSat, b.Const(6)), b.Const(0)))
+	// Close the charge loop: soc integrates grant minus the standing drain.
+	// The integrator port is non-feedthrough, so this cycle is legal.
+	b.Connect(b.Sub(grant, b.Const(1)), socInt.In(0))
+
+	// Billing accumulator with meter fault detection.
+	bill := b.Matlab("billing", `
+input  float64 amps;
+input  int32   phase;
+input  float64 ripple;
+output float64 kwh = 0;
+output bool    meterFault = false;
+state  float64 total = 0;
+if (phase == 2 || phase == 3) { total = total + amps * 0.01; }
+kwh = total;
+if (ripple > 3.0 || ripple < -3.0) { meterFault = true; }
+`, grant, ch.Out(0), ripple)
+
+	b.Outport("Phase", model.Int32, ch.Out(0))
+	b.Outport("Grant", model.Float64, grant)
+	b.Outport("KWh", model.Float64, bill.Out(0))
+	b.Outport("MeterFault", model.Bool, bill.Out(1))
+	b.Outport("Sessions", model.Int32, ch.Out(1))
+	m := b.Model()
+	m.SampleTime = 1.0 // charging sessions evolve on a 1 s grid
+	return m
+}

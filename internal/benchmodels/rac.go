@@ -1,0 +1,141 @@
+package benchmodels
+
+import (
+	"fmt"
+
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "RAC",
+		Functionality: "Robotic arm controller",
+		Build:         BuildRAC,
+		PaperBranch:   179,
+		PaperBlock:    667,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{64, 71, 12},
+			SimCoTest: ToolCoverage{71, 76, 12},
+			CFTCG:     ToolCoverage{79, 84, 38},
+		},
+	})
+}
+
+// BuildRAC reconstructs the robotic arm controller: three joint servo
+// channels (PI position loop, slew limiting, soft limits, per-joint fault
+// chart) under a motion coordinator. It is the largest benchmark — most of
+// its branches live in the replicated joint subsystems.
+func BuildRAC() *model.Model {
+	b := model.NewBuilder("RAC")
+	cmdMode := b.Inport("CmdMode", model.Int8) // 0 hold, 1 home, 2 move, 3 estop
+	t1 := b.Inport("Target1", model.Float64)
+	t2 := b.Inport("Target2", model.Float64)
+	t3 := b.Inport("Target3", model.Float64)
+	loadIn := b.Inport("Load", model.Int16)
+
+	targets := []model.PortRef{t1, t2, t3}
+	limits := [][2]float64{{-170, 170}, {-120, 120}, {-90, 90}}
+
+	// Motion coordinator dispatches the command mode.
+	sc := b.Add("SwitchCase", "coordinator", model.Params{"Cases": []int64{1, 2, 3}})
+	b.Connect(cmdMode, sc.In(0))
+	homing, moving, estop := sc.Out(0), sc.Out(1), sc.Out(2)
+
+	moveEnable := b.Or(moving, homing)
+	estopLatch := b.Matlab("estopLatch", `
+input  bool trip;
+input  bool clear;
+output bool latched = false;
+state  int32 lat = 0;
+if (trip) { lat = 1; }
+if (clear && lat == 1) { lat = 0; }
+if (lat == 1) { latched = true; }
+`, estop, homing)
+
+	jointFault := func(i int) *stateflow.Chart {
+		return &stateflow.Chart{
+			Name: fmt.Sprintf("joint%dFault", i),
+			Inputs: []stateflow.Var{
+				{Name: "err", Type: model.Float64},
+				{Name: "atLimit", Type: model.Bool},
+				{Name: "estop", Type: model.Bool},
+			},
+			Outputs: []stateflow.Var{{Name: "status", Type: model.Int32, Init: 0}},
+			Locals:  []stateflow.Var{{Name: "strain", Type: model.Int32}},
+			States: []*stateflow.State{
+				{Name: "Ok", Entry: "status = 0; strain = 0;"},
+				{Name: "Stressed", Entry: "status = 1;",
+					During: "if (err > 50.0) { strain = strain + 1; } else { strain = strain - 1; }"},
+				{Name: "Fault", Entry: "status = 2;"},
+			},
+			Transitions: []*stateflow.Transition{
+				{From: "Ok", To: "Stressed", Guard: "err > 50.0 || atLimit", Priority: 1},
+				{From: "Ok", To: "Fault", Guard: "estop", Priority: 2},
+				{From: "Stressed", To: "Fault", Guard: "strain >= 5 || estop", Priority: 1},
+				{From: "Stressed", To: "Ok", Guard: "strain <= -3", Priority: 2},
+				{From: "Fault", To: "Ok", Guard: "!estop && !atLimit && err < 5.0", Priority: 1},
+			},
+			Initial: "Ok",
+		}
+	}
+
+	statuses := make([]model.PortRef, 3)
+	positions := make([]model.PortRef, 3)
+	for i := 0; i < 3; i++ {
+		h, sub := b.EnabledSubsystem(fmt.Sprintf("Joint%d", i+1), b.Cast(moveEnable, model.Int8))
+		tgt := sub.Inport("target", model.Float64)
+		es := sub.Inport("estop", model.Bool)
+
+		tgtSat := sub.Saturation(tgt, limits[i][0], limits[i][1])
+
+		// Position loop: err -> PI -> slew -> integrate to position.
+		posState := sub.Add("UnitDelay", "posState", model.Params{"Init": 0.0, "Type": model.Float64})
+		err := sub.Sub(tgtSat, posState.Out(0))
+		absErr := sub.Abs(err)
+		pterm := sub.Gain(err, 0.4)
+		iterm := sub.Add("DiscreteIntegrator", "iterm", model.Params{
+			"K": 0.5, "Lower": -10.0, "Upper": 10.0,
+		}).From(err).Out(0)
+		drive := sub.Add2(pterm, iterm)
+		slew := sub.Add("RateLimiter", "slew", model.Params{
+			"Rising": 3.0, "Falling": -3.0,
+		}).From(drive).Out(0)
+		newPos := sub.Saturation(sub.Add2(posState.Out(0), slew), limits[i][0]-10, limits[i][1]+10)
+		sub.Connect(newPos, posState.In(0))
+
+		atLimit := sub.Or(
+			sub.Rel("<=", newPos, sub.Const(limits[i][0])),
+			sub.Rel(">=", newPos, sub.Const(limits[i][1])),
+		)
+		ch := sub.Chart(fmt.Sprintf("fault%d", i+1), jointFault(i+1), absErr, atLimit, es)
+
+		sub.Outport("pos", model.Float64, newPos).Block().Params["Init"] = 0.0
+		sub.Outport("status", model.Int32, ch.Out(0)).Block().Params["Init"] = 0.0
+
+		b.Connect(targets[i], h.In(1))
+		b.Connect(estopLatch.Out(0), h.In(2))
+		positions[i] = h.Out(0)
+		statuses[i] = h.Out(1)
+	}
+
+	// Payload compensation: load class scales allowed speed.
+	loadClass := b.Add("Lookup1D", "loadComp", model.Params{
+		"Breakpoints": []float64{0, 100, 500, 2000},
+		"Table":       []float64{1.0, 0.9, 0.6, 0.3},
+	}).From(b.Cast(loadIn, model.Float64)).Out(0)
+
+	worstStatus := b.MinMax("max", statuses[0], statuses[1], statuses[2])
+	anyFault := b.Rel(">=", worstStatus, b.ConstT(model.Int32, 2))
+	safeSpeed := b.Switch(anyFault, b.Const(0), loadClass)
+
+	reach := b.Add2(b.Abs(positions[0]), b.Add2(b.Abs(positions[1]), b.Abs(positions[2])))
+	envelope := b.Rel(">", reach, b.Const(300))
+	warn := b.Or(envelope, estopLatch.Out(0))
+
+	b.Outport("WorstStatus", model.Int32, worstStatus)
+	b.Outport("SafeSpeed", model.Float64, safeSpeed)
+	b.Outport("Reach", model.Float64, reach)
+	b.Outport("Warn", model.Bool, warn)
+	return b.Model()
+}

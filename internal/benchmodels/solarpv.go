@@ -1,0 +1,105 @@
+package benchmodels
+
+import (
+	"fmt"
+
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "SolarPV",
+		Functionality: "Solar PV panel output control",
+		Build:         BuildSolarPV,
+		PaperBranch:   55,
+		PaperBlock:    131,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{78, 83, 57},
+			SimCoTest: ToolCoverage{74, 73, 43},
+			CFTCG:     ToolCoverage{89, 95, 86},
+		},
+	})
+}
+
+// BuildSolarPV reconstructs the paper's running example (Figures 1/3): a
+// solar PV panel energy output control system. Each tuple addresses one
+// panel (Enable int8, Power int32, PanelID int32 — the 9-byte tuple of
+// Figure 3); every panel carries its own charging-state chart whose level
+// accumulates over many addressed iterations, and the storage mode switches
+// on the aggregate stored energy.
+func BuildSolarPV() *model.Model {
+	b := model.NewBuilder("SolarPV")
+	enable := b.Inport("Enable", model.Int8)
+	power := b.Inport("Power", model.Int32)
+	panelID := b.Inport("PanelID", model.Int32)
+
+	panelChart := func(id int) *stateflow.Chart {
+		return &stateflow.Chart{
+			Name:   fmt.Sprintf("panel%dStates", id),
+			Inputs: []stateflow.Var{{Name: "pw", Type: model.Int32}},
+			Outputs: []stateflow.Var{
+				{Name: "level", Type: model.Int32, Init: 0},
+				{Name: "phase", Type: model.Int32, Init: 0},
+			},
+			States: []*stateflow.State{
+				{Name: "Idle", Entry: "phase = 0;"},
+				{Name: "Charging", Entry: "phase = 1;", During: "level = level + pw / 10;"},
+				{Name: "Full", Entry: "phase = 2;", During: "level = level - 1;"},
+			},
+			Transitions: []*stateflow.Transition{
+				{From: "Idle", To: "Charging", Guard: "pw > 100", Priority: 1},
+				{From: "Charging", To: "Full", Guard: "level >= 400", Priority: 1},
+				{From: "Full", To: "Idle", Guard: "pw < 20", Action: "level = 0;", Priority: 1},
+			},
+			Initial: "Idle",
+		}
+	}
+
+	// Each panel is an enabled subsystem selected by PanelID, holding its
+	// chart state while other panels are being driven.
+	levels := make([]model.PortRef, 2)
+	for id := 1; id <= 2; id++ {
+		sel := b.And(enable, b.Rel("==", panelID, b.ConstT(model.Int32, float64(id))))
+		selNum := b.Cast(sel, model.Int8)
+		h, sub := b.EnabledSubsystem(fmt.Sprintf("Panel%d", id), selNum)
+		pw := sub.Inport("pw", model.Int32)
+		pwSat := sub.Saturation(pw, 0, 300)
+		ch := sub.Chart(fmt.Sprintf("chart%d", id), panelChart(id), pwSat)
+		sub.Outport("level", model.Int32, ch.Out(0)).Block().Params["Init"] = 0.0
+		sub.Outport("phase", model.Int32, ch.Out(1)).Block().Params["Init"] = 0.0
+		b.Connect(power, h.In(1))
+		levels[id-1] = h.Out(0)
+	}
+
+	total := b.Add2(levels[0], levels[1])
+
+	// Storage mode selection from aggregate stored energy.
+	mode := b.Matlab("storageMode", `
+input  int32 total;
+input  int8  en;
+output int32 mode = 0;
+if (en ~= 0) {
+    if (total > 600) {
+        mode = 2;
+    } else {
+        if (total > 200) { mode = 1; }
+    }
+} else {
+    mode = 3;
+}
+`, total, enable)
+
+	// Output routing per mode: off / trickle / bulk / shutdown.
+	idx := b.Add2(mode.Out(0), b.ConstT(model.Int32, 1)) // MultiportSwitch is 1-based
+	sw := b.Add("MultiportSwitch", "storageRoute", model.Params{"Inputs": 4})
+	b.Connect(idx, sw.In(0))
+	b.Connect(b.ConstT(model.Int32, 0), sw.In(1))   // mode 0: off
+	b.Connect(b.Gain(total, 1), sw.In(2))           // mode 1: trickle = store total
+	b.Connect(b.Gain(total, 2), sw.In(3))           // mode 2: bulk
+	b.Connect(b.ConstT(model.Int32, -10), sw.In(4)) // mode 3: shutdown flag
+	ret := b.Saturation(sw.Out(0), -1, 600)
+
+	b.Outport("Ret", model.Int32, ret)
+	return b.Model()
+}

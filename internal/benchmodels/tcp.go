@@ -1,0 +1,143 @@
+package benchmodels
+
+import (
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "TCP",
+		Functionality: "TCP three-way handshake protocol",
+		Build:         BuildTCP,
+		PaperBranch:   146,
+		PaperBlock:    330,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{63, 64, 33},
+			SimCoTest: ToolCoverage{82, 74, 17},
+			CFTCG:     ToolCoverage{99, 96, 67},
+		},
+	})
+}
+
+// BuildTCP reconstructs the TCP three-way handshake benchmark: a connection
+// state machine over segment flags with sequence-number validation. Deep
+// coverage requires *ordered* segment sequences (SYN, then ACK with the
+// matching sequence number, then in-order data) — the property that defeats
+// shape-based signal generation and shallow unrolling.
+func BuildTCP() *model.Model {
+	b := model.NewBuilder("TCP")
+	flags := b.Inport("Flags", model.UInt8) // bit0 SYN, bit1 ACK, bit2 FIN, bit3 RST
+	seq := b.Inport("Seq", model.Int32)
+	cmd := b.Inport("Cmd", model.Int8) // 0 none, 1 listen, 2 close, 3 abort
+
+	bit := func(mask int64) model.PortRef {
+		m := b.Add("Bitwise", "", model.Params{"Op": "AND"})
+		b.Connect(flags, m.In(0))
+		b.Connect(b.ConstT(model.UInt8, float64(mask)), m.In(1))
+		return b.Add("CompareToZero", "", model.Params{"Op": "~="}).From(m.Out(0)).Out(0)
+	}
+	syn := bit(1)
+	ack := bit(2)
+	fin := bit(4)
+	rst := bit(8)
+
+	// Segment validation: in-order, duplicate, or future segment relative
+	// to the receiver's expected sequence number.
+	validator := b.Matlab("seqCheck", `
+input  int32 seq;
+input  bool  active;
+output bool  ok = false;
+output bool  dup = false;
+state  int32 expected = 0;
+if (active) {
+    if (seq == expected) {
+        ok = true;
+        expected = expected + 1;
+    } else {
+        if (seq < expected) { dup = true; }
+    }
+} else {
+    expected = seq + 1;
+}
+`, seq, b.Logic("OR", syn, ack))
+
+	conn := &stateflow.Chart{
+		Name: "connection",
+		Inputs: []stateflow.Var{
+			{Name: "syn", Type: model.Bool},
+			{Name: "ack", Type: model.Bool},
+			{Name: "fin", Type: model.Bool},
+			{Name: "rst", Type: model.Bool},
+			{Name: "cmd", Type: model.Int8},
+			{Name: "ok", Type: model.Bool},
+			{Name: "dup", Type: model.Bool},
+		},
+		Outputs: []stateflow.Var{
+			{Name: "stateCode", Type: model.Int32, Init: 0},
+			{Name: "delivered", Type: model.Int32, Init: 0},
+			{Name: "event", Type: model.Int32, Init: 0},
+		},
+		Locals: []stateflow.Var{
+			{Name: "ticks", Type: model.Int32},
+			{Name: "retries", Type: model.Int32},
+		},
+		States: []*stateflow.State{
+			{Name: "Closed", Entry: "stateCode = 0; ticks = 0;"},
+			{Name: "Listen", Entry: "stateCode = 1;"},
+			{Name: "SynRcvd", Entry: "stateCode = 2; retries = 0;", During: "retries = retries + 1;"},
+			{Name: "Established", Entry: "stateCode = 3; event = 1;",
+				During: "if (ok) { delivered = delivered + 1; } if (delivered >= 3) { event = 2; }"},
+			{Name: "CloseWait", Entry: "stateCode = 4;"},
+			{Name: "LastAck", Entry: "stateCode = 5;"},
+			{Name: "FinWait1", Entry: "stateCode = 6;"},
+			{Name: "FinWait2", Entry: "stateCode = 7;"},
+			{Name: "Closing", Entry: "stateCode = 8;"},
+			{Name: "TimeWait", Entry: "stateCode = 9; ticks = 0;", During: "ticks = ticks + 1;"},
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "Closed", To: "Listen", Guard: "cmd == 1", Priority: 1},
+			{From: "Listen", To: "SynRcvd", Guard: "syn && !rst", Priority: 1},
+			{From: "Listen", To: "Closed", Guard: "cmd == 3", Priority: 2},
+			{From: "SynRcvd", To: "Established", Guard: "ack && ok", Priority: 1},
+			{From: "SynRcvd", To: "Listen", Guard: "rst || retries > 6", Priority: 2},
+			{From: "Established", To: "CloseWait", Guard: "fin && ok", Priority: 1},
+			{From: "Established", To: "FinWait1", Guard: "cmd == 2", Priority: 2},
+			{From: "Established", To: "Closed", Guard: "rst", Priority: 3, Action: "event = 3;"},
+			{From: "CloseWait", To: "LastAck", Guard: "cmd == 2", Priority: 1},
+			{From: "LastAck", To: "Closed", Guard: "ack", Priority: 1},
+			{From: "FinWait1", To: "FinWait2", Guard: "ack && !fin", Priority: 1},
+			{From: "FinWait1", To: "Closing", Guard: "fin && !ack", Priority: 2},
+			{From: "FinWait1", To: "TimeWait", Guard: "fin && ack", Priority: 3},
+			{From: "FinWait2", To: "TimeWait", Guard: "fin", Priority: 1},
+			{From: "Closing", To: "TimeWait", Guard: "ack", Priority: 1},
+			{From: "TimeWait", To: "Closed", Guard: "ticks >= 4", Priority: 1},
+		},
+		Initial: "Closed",
+	}
+	ch := b.Chart("connection", conn, syn, ack, fin, rst, cmd, validator.Out(0), validator.Out(1))
+
+	// Segment accounting outside the chart: duplicate counter with alarm.
+	dupCount := b.Matlab("dupStats", `
+input  bool  dup;
+output int32 dups = 0;
+output bool  storm = false;
+state  int32 total = 0;
+if (dup) { total = total + 1; }
+dups = total;
+if (total > 20) { storm = true; }
+`, validator.Out(1))
+
+	// Retransmission backoff emulation on the event line: event codes 0-3
+	// map to -50..400, exercising both saturation bounds.
+	backoff := b.Saturation(b.Add2(b.Gain(ch.Out(2), 150), b.ConstT(model.Int32, -50)), 0, 300)
+
+	established := b.Rel("==", ch.Out(0), b.ConstT(model.Int32, 3))
+	healthy := b.And(established, b.Not(dupCount.Out(1)))
+
+	b.Outport("State", model.Int32, ch.Out(0))
+	b.Outport("Delivered", model.Int32, ch.Out(1))
+	b.Outport("Backoff", model.Int32, b.Cast(backoff, model.Int32))
+	b.Outport("Healthy", model.Bool, healthy)
+	return b.Model()
+}

@@ -1,0 +1,130 @@
+package benchmodels
+
+import (
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "TWC",
+		Functionality: "Train wheel speed controller",
+		Build:         BuildTWC,
+		PaperBranch:   80,
+		PaperBlock:    214,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{46, 68, 40},
+			SimCoTest: ToolCoverage{15, 57, 20},
+			CFTCG:     ToolCoverage{96, 98, 90},
+		},
+	})
+}
+
+// BuildTWC reconstructs the train wheel speed controller: wheel-slip
+// detection with an anti-skid state machine. Entering the anti-skid mode
+// requires slip sustained over ten consecutive iterations within a bounded
+// speed window — the deep condition the paper's Figure 7 analysis traces to
+// a single coverage jump around 41 seconds of fuzzing.
+func BuildTWC() *model.Model {
+	b := model.NewBuilder("TWC")
+	vTrain := b.Inport("TrainSpeed", model.Float64) // m/s
+	vWheel := b.Inport("WheelSpeed", model.Float64)
+	brake := b.Inport("BrakeCmd", model.Int8) // 0 none, 1 service, 2 emergency
+
+	vT := b.Saturation(vTrain, 0, 90)
+	vW := b.Saturation(vWheel, 0, 120)
+
+	// Relative slip: (vT - vW) / max(vT, 1).
+	slip := b.Div(b.Sub(vT, vW), b.MinMax("max", vT, b.Const(1)))
+	slipMag := b.Abs(slip)
+
+	// Sustained-slip detector: the deep counter.
+	sustain := b.Matlab("slipSustain", `
+input  float64 slip;
+input  float64 speed;
+output bool    sustained = false;
+output int32   run = 0;
+state  int32   cnt = 0;
+if (slip > 0.2 && speed > 5.0) {
+    cnt = cnt + 1;
+} else {
+    cnt = 0;
+}
+run = cnt;
+if (cnt >= 10) { sustained = true; }
+`, slipMag, vT)
+
+	antiskid := &stateflow.Chart{
+		Name: "antiskid",
+		Inputs: []stateflow.Var{
+			{Name: "sustained", Type: model.Bool},
+			{Name: "slip", Type: model.Float64},
+			{Name: "brake", Type: model.Int8},
+		},
+		Outputs: []stateflow.Var{
+			{Name: "mode", Type: model.Int32, Init: 0},
+			{Name: "releases", Type: model.Int32, Init: 0},
+		},
+		Locals: []stateflow.Var{{Name: "hold", Type: model.Int32}},
+		States: []*stateflow.State{
+			{Name: "Normal", Entry: "mode = 0;"},
+			{Name: "SlipWatch", Entry: "mode = 1;"},
+			{Name: "AntiSkid", Entry: "mode = 2; releases = releases + 1; hold = 0;",
+				During: "hold = hold + 1;"},
+			{Name: "Recovery", Entry: "mode = 3;"},
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "Normal", To: "SlipWatch", Guard: "slip > 0.1", Priority: 1},
+			{From: "SlipWatch", To: "AntiSkid", Guard: "sustained", Priority: 1},
+			{From: "SlipWatch", To: "Normal", Guard: "slip < 0.05", Priority: 2},
+			{From: "AntiSkid", To: "Recovery", Guard: "hold >= 4 && slip < 0.15", Priority: 1},
+			{From: "AntiSkid", To: "Normal", Guard: "brake == 2", Priority: 2},
+			{From: "Recovery", To: "Normal", Guard: "slip < 0.02", Priority: 1},
+			{From: "Recovery", To: "SlipWatch", Guard: "slip > 0.1", Priority: 2},
+		},
+		Initial: "Normal",
+	}
+	ch := b.Chart("antiskid", antiskid, sustain.Out(0), slipMag, brake)
+
+	// Brake pressure command: base demand per brake mode, antiskid relief.
+	sc := b.Add("SwitchCase", "brakeModes", model.Params{"Cases": []int64{1, 2}})
+	b.Connect(brake, sc.In(0))
+	merge := b.Add("Merge", "demand", model.Params{"Inputs": 3, "Init": 0.0})
+
+	_, service := b.ActionSubsystem("Service", sc.Out(0))
+	sv := service.Inport("v", model.Float64)
+	service.Outport("p", model.Float64, service.Gain(sv, 0.6)).Block().Params["Init"] = 0.0
+
+	_, emerg := b.ActionSubsystem("Emergency", sc.Out(1))
+	ev := emerg.Inport("v", model.Float64)
+	emerg.Outport("p", model.Float64, emerg.Saturation(emerg.Gain(ev, 1.5), 0, 100)).Block().Params["Init"] = 0.0
+
+	_, idle := b.ActionSubsystem("Coast", sc.Out(2))
+	iv := idle.Inport("v", model.Float64)
+	idle.Outport("p", model.Float64, idle.Gain(iv, 0.0)).Block().Params["Init"] = 0.0
+
+	for _, name := range []string{"Service", "Emergency", "Coast"} {
+		blk := b.Graph().BlockByName(name)
+		b.Connect(vT, model.PortRef{Block: blk.ID, Port: 1})
+	}
+	b.Connect(model.PortRef{Block: b.Graph().BlockByName("Service").ID, Port: 0}, merge.In(0))
+	b.Connect(model.PortRef{Block: b.Graph().BlockByName("Emergency").ID, Port: 0}, merge.In(1))
+	b.Connect(model.PortRef{Block: b.Graph().BlockByName("Coast").ID, Port: 0}, merge.In(2))
+
+	inAntiskid := b.Rel("==", ch.Out(0), b.ConstT(model.Int32, 2))
+	relieved := b.Switch(inAntiskid, b.Gain(merge.Out(0), 0.3), merge.Out(0))
+	pressure := b.Add("RateLimiter", "pSlew", model.Params{"Rising": 5.0, "Falling": -8.0}).
+		From(relieved).Out(0)
+
+	lockup := b.And(
+		b.Rel(">", slipMag, b.Const(0.5)),
+		b.Rel(">", vT, b.Const(10)),
+		b.Not(inAntiskid),
+	)
+
+	b.Outport("Pressure", model.Float64, pressure)
+	b.Outport("Mode", model.Int32, ch.Out(0))
+	b.Outport("Releases", model.Int32, ch.Out(1))
+	b.Outport("LockupRisk", model.Bool, lockup)
+	return b.Model()
+}

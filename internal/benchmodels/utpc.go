@@ -1,0 +1,123 @@
+package benchmodels
+
+import (
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+func init() {
+	register(Entry{
+		Name:          "UTPC",
+		Functionality: "Underwater thruster power control",
+		Build:         BuildUTPC,
+		PaperBranch:   92,
+		PaperBlock:    214,
+		Paper: Table3Row{
+			SLDV:      ToolCoverage{44, 59, 44},
+			SimCoTest: ToolCoverage{40, 58, 44},
+			CFTCG:     ToolCoverage{98, 100, 100},
+		},
+	})
+}
+
+// BuildUTPC reconstructs the underwater thruster power controller: a power
+// budget governed by depth-dependent pressure derating and a thermal
+// protection machine whose cutoff state demands prolonged overpower — the
+// deep condition behind the 917-second coverage jump in Figure 7.
+func BuildUTPC() *model.Model {
+	b := model.NewBuilder("UTPC")
+	depth := b.Inport("Depth", model.Float64)    // meters
+	thrust := b.Inport("ThrustCmd", model.Int16) // signed command
+	waterT := b.Inport("WaterTemp", model.Float64)
+
+	d := b.Saturation(depth, 0, 6000)
+	// Pressure derating of the allowed power.
+	derate := b.Add("Lookup1D", "derate", model.Params{
+		"Breakpoints": []float64{0, 200, 1000, 3000, 5000},
+		"Table":       []float64{1.0, 0.95, 0.8, 0.5, 0.25},
+	}).From(d).Out(0)
+
+	cmd := b.Cast(thrust, model.Float64)
+	cmdMag := b.Abs(cmd)
+	// Electrical power grows quadratically with commanded thrust.
+	power := b.Gain(b.Mul(cmdMag, cmdMag), 0.001)
+	allowed := b.Gain(derate, 400)
+	over := b.Sub(power, allowed)
+
+	heat := b.Matlab("heatModel", `
+input  float64 over;
+input  float64 waterT;
+output float64 coreT = 20;
+output bool    overpower = false;
+state  float64 temp = 20;
+var    float64 cooling = 0;
+cooling = (temp - waterT) * 0.02;
+if (over > 0.0) {
+    temp = temp + over * 0.005 - cooling;
+    overpower = true;
+} else {
+    temp = temp - cooling;
+}
+temp = sat(temp, -5.0, 200.0);
+coreT = temp;
+`, over, b.Saturation(waterT, -5, 40))
+
+	thermal := &stateflow.Chart{
+		Name: "thermal",
+		Inputs: []stateflow.Var{
+			{Name: "coreT", Type: model.Float64},
+			{Name: "overpower", Type: model.Bool},
+		},
+		Outputs: []stateflow.Var{
+			{Name: "tstate", Type: model.Int32, Init: 0},
+			{Name: "trips", Type: model.Int32, Init: 0},
+		},
+		Locals: []stateflow.Var{{Name: "hotTicks", Type: model.Int32}},
+		States: []*stateflow.State{
+			{Name: "Normal", Entry: "tstate = 0; hotTicks = 0;"},
+			{Name: "Warm", Entry: "tstate = 1;",
+				During: "if (overpower) { hotTicks = hotTicks + 1; } else { hotTicks = 0; }"},
+			{Name: "Hot", Entry: "tstate = 2;",
+				During: "if (overpower) { hotTicks = hotTicks + 2; }"},
+			{Name: "Cutoff", Entry: "tstate = 3; trips = trips + 1;"},
+			{Name: "Cooldown", Entry: "tstate = 4;"},
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "Normal", To: "Warm", Guard: "coreT > 60.0", Priority: 1},
+			{From: "Warm", To: "Hot", Guard: "coreT > 90.0", Priority: 1},
+			{From: "Warm", To: "Normal", Guard: "coreT < 50.0", Priority: 2},
+			{From: "Hot", To: "Cutoff", Guard: "hotTicks >= 12 || coreT > 140.0", Priority: 1},
+			{From: "Hot", To: "Warm", Guard: "coreT < 80.0", Priority: 2},
+			{From: "Cutoff", To: "Cooldown", Guard: "coreT < 100.0", Priority: 1},
+			{From: "Cooldown", To: "Normal", Guard: "coreT < 45.0", Priority: 1},
+		},
+		Initial: "Normal",
+	}
+	ch := b.Chart("thermal", thermal, heat.Out(0), heat.Out(1))
+
+	// Granted thrust: zero in cutoff, derated in hot states.
+	cut := b.Rel(">=", ch.Out(0), b.ConstT(model.Int32, 3))
+	hot := b.Rel("==", ch.Out(0), b.ConstT(model.Int32, 2))
+	granted := b.Switch(cut, b.Const(0),
+		b.Switch(hot, b.Gain(cmd, 0.5), cmd))
+	slewed := b.Add("RateLimiter", "thrustSlew", model.Params{
+		"Rising": 50.0, "Falling": -50.0,
+	}).From(granted).Out(0)
+
+	// Cavitation risk near the surface at high thrust.
+	cavitation := b.And(
+		b.Rel("<", d, b.Const(15)),
+		b.Rel(">", cmdMag, b.Const(600)),
+	)
+	reverseHard := b.And(
+		b.Rel("<", cmd, b.Const(-500)),
+		b.Rel(">", d, b.Const(1000)),
+	)
+
+	b.Outport("Granted", model.Float64, slewed)
+	b.Outport("ThermalState", model.Int32, ch.Out(0))
+	b.Outport("Trips", model.Int32, ch.Out(1))
+	b.Outport("Cavitation", model.Bool, cavitation)
+	b.Outport("ReverseHard", model.Bool, reverseHard)
+	return b.Model()
+}

@@ -1,0 +1,1044 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// lowerBlock emits the step-function code for one block, storing the output
+// registers into the scope. Instrumentation follows the paper's four modes:
+// logic blocks probe every input condition plus the output decision (a),
+// data switches probe the selected branch (b), If/SwitchCase/Enable probe
+// action decisions (c), and in-block conditionals probe each implicit branch
+// including else (d).
+func (lw *lowerer) lowerBlock(gs *graphScope, b *model.Block) error {
+	a := lw.cur
+	gi := gs.gi
+	out0 := model.PortRef{Block: b.ID, Port: 0}
+	outDT := gi.OutType[out0] // valid when the block has outputs
+	decs := lw.ix.BlockDecisions[b]
+	setOut := func(r int32) { gs.vals[out0] = r }
+
+	switch b.Kind {
+	case "Inport":
+		// Root inports were bound by lowerRoot; subsystem inports by
+		// subsystemScope. Reaching here unbound is a bug.
+		if _, ok := gs.vals[out0]; !ok {
+			return fmt.Errorf("codegen: %s/%s: unbound inport", gi.Path, b.Name)
+		}
+
+	case "Outport", "Terminator", "Scope":
+		// Sinks: inputs were computed by their drivers; nothing to emit.
+
+	case "Constant":
+		setOut(a.ConstVal(outDT, b.Params.Float("Value", 0)))
+
+	case "Ground":
+		setOut(a.ConstVal(outDT, 0))
+
+	case "Clock":
+		slot := lw.allocState(gi.Path+"/"+b.Name, outDT, 0)
+		t := a.LoadState(outDT, slot)
+		ts := a.ConstVal(outDT, lw.d.Model.SampleTime)
+		a.StoreState(slot, a.Bin(ir.OpAdd, outDT, t, ts))
+		setOut(t)
+
+	case "Counter":
+		init := b.Params.Float("Init", 0)
+		maxv := b.Params.Float("Max", 255)
+		inc := b.Params.Float("Inc", 1)
+		slot := lw.allocState(gi.Path+"/"+b.Name, outDT, init)
+		c := a.LoadState(outDT, slot)
+		next := a.Bin(ir.OpAdd, outDT, c, a.ConstVal(outDT, inc))
+		over := a.Bin(ir.OpGt, outDT, next, a.ConstVal(outDT, maxv))
+		wrapped := a.Select(outDT, over, a.ConstVal(outDT, init), next)
+		a.StoreState(slot, wrapped)
+		setOut(c)
+
+	case "Gain":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(a.Bin(ir.OpMul, outDT, in, a.ConstVal(outDT, b.Params.Float("Gain", 1))))
+
+	case "Bias":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(a.Bin(ir.OpAdd, outDT, in, a.ConstVal(outDT, b.Params.Float("Bias", 0))))
+
+	case "UnaryMinus":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(a.Un(ir.OpNeg, outDT, in))
+
+	case "Abs":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		neg := a.Bin(ir.OpLt, outDT, in, a.ConstVal(outDT, 0))
+		lw.probePair(decs[0], neg)
+		setOut(a.Un(ir.OpAbs, outDT, in))
+
+	case "Sign":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		zero := a.ConstVal(outDT, 0)
+		res := a.Reg()
+		isNeg := a.Bin(ir.OpLt, outDT, in, zero)
+		jPos := a.JmpIfNot(isNeg)
+		a.Probe(decs[0], 0)
+		a.ConstTo(res, outDT, model.Encode(outDT, -1))
+		jEnd1 := a.Jmp()
+		a.Patch(jPos)
+		isPos := a.Bin(ir.OpGt, outDT, in, zero)
+		jZero := a.JmpIfNot(isPos)
+		a.Probe(decs[0], 2)
+		a.ConstTo(res, outDT, model.Encode(outDT, 1))
+		jEnd2 := a.Jmp()
+		a.Patch(jZero)
+		a.Probe(decs[0], 1)
+		a.ConstTo(res, outDT, model.Encode(outDT, 0))
+		a.Patch(jEnd1)
+		a.Patch(jEnd2)
+		setOut(res)
+
+	case "Sqrt", "Exp", "Log", "Trigonometry":
+		in, err := lw.inVal(gs, b.ID, 0, model.Float64)
+		if err != nil {
+			return err
+		}
+		op := map[string]ir.Op{"Sqrt": ir.OpSqrt, "Exp": ir.OpExp, "Log": ir.OpLog}[b.Kind]
+		if b.Kind == "Trigonometry" {
+			switch b.Params.String("Fn", "sin") {
+			case "sin":
+				op = ir.OpSin
+			case "cos":
+				op = ir.OpCos
+			case "tan":
+				op = ir.OpTan
+			default:
+				return fmt.Errorf("codegen: %s/%s: unknown trig Fn", gi.Path, b.Name)
+			}
+		}
+		setOut(a.Cast(outDT, model.Float64, a.Un(op, model.Float64, in)))
+
+	case "Rounding":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		if !outDT.IsFloat() {
+			setOut(in) // integers are already rounded
+			break
+		}
+		var op ir.Op
+		switch b.Params.String("Fn", "round") {
+		case "floor":
+			op = ir.OpFloor
+		case "ceil":
+			op = ir.OpCeil
+		case "round":
+			op = ir.OpRound
+		case "fix":
+			op = ir.OpTrunc
+		default:
+			return fmt.Errorf("codegen: %s/%s: unknown rounding Fn", gi.Path, b.Name)
+		}
+		setOut(a.Un(op, outDT, in))
+
+	case "Quantizer":
+		in, err := lw.inVal(gs, b.ID, 0, model.Float64)
+		if err != nil {
+			return err
+		}
+		q := a.ConstVal(model.Float64, b.Params.Float("Interval", 1))
+		div := a.Bin(ir.OpDiv, model.Float64, in, q)
+		r := a.Un(ir.OpRound, model.Float64, div)
+		setOut(a.Cast(outDT, model.Float64, a.Bin(ir.OpMul, model.Float64, r, q)))
+
+	case "Saturation":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		lo := a.ConstVal(outDT, b.Params.Float("Lower", 0))
+		hi := a.ConstVal(outDT, b.Params.Float("Upper", 1))
+		res := a.Reg()
+		below := a.Bin(ir.OpLt, outDT, in, lo)
+		j1 := a.JmpIfNot(below)
+		a.Probe(decs[0], 0)
+		a.MovTo(res, lo)
+		jE1 := a.Jmp()
+		a.Patch(j1)
+		above := a.Bin(ir.OpGt, outDT, in, hi)
+		j2 := a.JmpIfNot(above)
+		a.Probe(decs[0], 2)
+		a.MovTo(res, hi)
+		jE2 := a.Jmp()
+		a.Patch(j2)
+		a.Probe(decs[0], 1)
+		a.MovTo(res, in)
+		a.Patch(jE1)
+		a.Patch(jE2)
+		setOut(res)
+
+	case "DeadZone":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		start := a.ConstVal(outDT, b.Params.Float("Start", -1))
+		end := a.ConstVal(outDT, b.Params.Float("End", 1))
+		res := a.Reg()
+		below := a.Bin(ir.OpLt, outDT, in, start)
+		j1 := a.JmpIfNot(below)
+		a.Probe(decs[0], 0)
+		a.MovTo(res, a.Bin(ir.OpSub, outDT, in, start))
+		jE1 := a.Jmp()
+		a.Patch(j1)
+		above := a.Bin(ir.OpGt, outDT, in, end)
+		j2 := a.JmpIfNot(above)
+		a.Probe(decs[0], 2)
+		a.MovTo(res, a.Bin(ir.OpSub, outDT, in, end))
+		jE2 := a.Jmp()
+		a.Patch(j2)
+		a.Probe(decs[0], 1)
+		a.ConstTo(res, outDT, model.Encode(outDT, 0))
+		a.Patch(jE1)
+		a.Patch(jE2)
+		setOut(res)
+
+	case "RateLimiter":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		rising := b.Params.Float("Rising", 1)
+		falling := b.Params.Float("Falling", -1)
+		slot := lw.allocState(gi.Path+"/"+b.Name, outDT, b.Params.Float("Init", 0))
+		prev := a.LoadState(outDT, slot)
+		delta := a.Bin(ir.OpSub, outDT, in, prev)
+		res := a.Reg()
+		over := a.Bin(ir.OpGt, outDT, delta, a.ConstVal(outDT, rising))
+		j1 := a.JmpIfNot(over)
+		a.Probe(decs[0], 0)
+		a.MovTo(res, a.Bin(ir.OpAdd, outDT, prev, a.ConstVal(outDT, rising)))
+		jE1 := a.Jmp()
+		a.Patch(j1)
+		under := a.Bin(ir.OpLt, outDT, delta, a.ConstVal(outDT, falling))
+		j2 := a.JmpIfNot(under)
+		a.Probe(decs[0], 2)
+		a.MovTo(res, a.Bin(ir.OpAdd, outDT, prev, a.ConstVal(outDT, falling)))
+		jE2 := a.Jmp()
+		a.Patch(j2)
+		a.Probe(decs[0], 1)
+		a.MovTo(res, in)
+		a.Patch(jE1)
+		a.Patch(jE2)
+		a.StoreState(slot, res)
+		setOut(res)
+
+	case "Relay":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		onPt := a.ConstVal(outDT, b.Params.Float("OnPoint", 1))
+		offPt := a.ConstVal(outDT, b.Params.Float("OffPoint", 0))
+		slot := lw.allocState(gi.Path+"/"+b.Name, model.Bool, b.Params.Float("InitialOn", 0))
+		on := a.LoadState(model.Bool, slot)
+		stayOn := a.Bin(ir.OpGt, outDT, in, offPt)
+		turnOn := a.Bin(ir.OpGe, outDT, in, onPt)
+		newOn := a.Select(model.Bool, on, stayOn, turnOn)
+		lw.probePair(decs[0], newOn)
+		a.StoreState(slot, newOn)
+		onVal := a.ConstVal(outDT, b.Params.Float("OnValue", 1))
+		offVal := a.ConstVal(outDT, b.Params.Float("OffValue", 0))
+		setOut(a.Select(outDT, newOn, onVal, offVal))
+
+	case "DataTypeConversion":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(in)
+
+	case "ZeroOrderHold":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(in)
+
+	case "Lookup1D":
+		return lw.lowerLookup(gs, b, decs, outDT)
+
+	case "Sum":
+		signs := b.Params.String("Signs", "++")
+		var acc int32 = -1
+		for i, sign := range signs {
+			in, err := lw.inVal(gs, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			switch {
+			case acc < 0 && sign == '+':
+				acc = in
+			case acc < 0:
+				acc = a.Un(ir.OpNeg, outDT, in)
+			case sign == '+':
+				acc = a.Bin(ir.OpAdd, outDT, acc, in)
+			default:
+				acc = a.Bin(ir.OpSub, outDT, acc, in)
+			}
+		}
+		setOut(acc)
+
+	case "Product":
+		ops := b.Params.String("Ops", "**")
+		var acc int32 = -1
+		for i, op := range ops {
+			in, err := lw.inVal(gs, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			switch {
+			case acc < 0 && op == '*':
+				acc = in
+			case acc < 0:
+				one := a.ConstVal(outDT, 1)
+				acc = a.Bin(ir.OpDiv, outDT, one, in)
+			case op == '*':
+				acc = a.Bin(ir.OpMul, outDT, acc, in)
+			default:
+				acc = a.Bin(ir.OpDiv, outDT, acc, in)
+			}
+		}
+		setOut(acc)
+
+	case "MinMax":
+		n := gi.InCount[b.ID]
+		cmpOp := ir.OpLt
+		if b.Params.String("Fn", "min") == "max" {
+			cmpOp = ir.OpGt
+		}
+		best, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		bestReg := a.Reg()
+		a.MovTo(bestReg, best)
+		idxReg := a.Reg()
+		a.ConstTo(idxReg, model.Int32, 0)
+		for i := 1; i < n; i++ {
+			in, err := lw.inVal(gs, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			better := a.Bin(cmpOp, outDT, in, bestReg)
+			a.MovTo(bestReg, a.Select(outDT, better, in, bestReg))
+			iConst := a.Const(model.Int32, model.EncodeInt(model.Int32, int64(i)))
+			a.MovTo(idxReg, a.Select(model.Int32, better, iConst, idxReg))
+		}
+		if len(decs) > 0 {
+			lw.probeIndex(decs[0], idxReg, n)
+		}
+		setOut(bestReg)
+
+	case "RelationalOperator":
+		t := promoteIn(gi, b.ID, 0, 1)
+		x, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		y, err := lw.inVal(gs, b.ID, 1, t)
+		if err != nil {
+			return err
+		}
+		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, y))
+
+	case "CompareToConstant":
+		t := gi.InType(b.ID, 0)
+		x, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		c := a.ConstVal(t, b.Params.Float("Value", 0))
+		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, c))
+
+	case "CompareToZero":
+		t := gi.InType(b.ID, 0)
+		x, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, a.ConstVal(t, 0)))
+
+	case "LogicalOperator":
+		return lw.lowerLogic(gs, b, decs)
+
+	case "Bitwise":
+		t := gi.InType(b.ID, 0)
+		if !t.IsInteger() && !t.IsBool() {
+			return fmt.Errorf("codegen: %s/%s: bitwise needs integer input, got %s", gi.Path, b.Name, t)
+		}
+		x, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		y, err := lw.inVal(gs, b.ID, 1, t)
+		if err != nil {
+			return err
+		}
+		var op ir.Op
+		switch b.Params.String("Op", "AND") {
+		case "AND":
+			op = ir.OpBitAnd
+		case "OR":
+			op = ir.OpBitOr
+		case "XOR":
+			op = ir.OpBitXor
+		case "SHL":
+			op = ir.OpShl
+		case "SHR":
+			op = ir.OpShr
+		default:
+			return fmt.Errorf("codegen: %s/%s: unknown bitwise Op", gi.Path, b.Name)
+		}
+		setOut(a.Bin(op, t, x, y))
+
+	case "Switch":
+		cond, err := lw.switchCond(gs, b)
+		if err != nil {
+			return err
+		}
+		lw.probePair(decs[0], cond)
+		x, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		y, err := lw.inVal(gs, b.ID, 2, outDT)
+		if err != nil {
+			return err
+		}
+		setOut(a.Select(outDT, cond, x, y))
+
+	case "MultiportSwitch":
+		n := int(b.Params.Int("Inputs", 2))
+		idxT := gi.InType(b.ID, 0)
+		rawIdx, err := lw.inVal(gs, b.ID, 0, idxT)
+		if err != nil {
+			return err
+		}
+		idx := a.Cast(model.Int32, idxT, rawIdx)
+		one := a.Const(model.Int32, model.EncodeInt(model.Int32, 1))
+		nn := a.Const(model.Int32, model.EncodeInt(model.Int32, int64(n)))
+		idx = a.Bin(ir.OpMax, model.Int32, idx, one)
+		idx = a.Bin(ir.OpMin, model.Int32, idx, nn)
+		zeroBased := a.Bin(ir.OpSub, model.Int32, idx, one)
+		lw.probeIndex(decs[0], zeroBased, n)
+		// Fold a select chain from the last data input backwards.
+		res, err := lw.inVal(gs, b.ID, n, outDT)
+		if err != nil {
+			return err
+		}
+		for k := n - 1; k >= 1; k-- {
+			in, err := lw.inVal(gs, b.ID, k, outDT)
+			if err != nil {
+				return err
+			}
+			kc := a.Const(model.Int32, model.EncodeInt(model.Int32, int64(k-1)))
+			eq := a.Bin(ir.OpEq, model.Int32, zeroBased, kc)
+			res = a.Select(outDT, eq, in, res)
+		}
+		setOut(res)
+
+	case "Merge":
+		setOut(a.LoadState(gs.mergeType[b], gs.mergeSlots[b]))
+
+	case "UnitDelay", "Memory":
+		slot := lw.allocState(gi.Path+"/"+b.Name, outDT, b.Params.Float("Init", 0))
+		setOut(a.LoadState(outDT, slot))
+		gs.deferred = append(gs.deferred, func() error {
+			in, err := lw.inVal(gs, b.ID, 0, outDT)
+			if err != nil {
+				return err
+			}
+			lw.cur.StoreState(slot, in)
+			return nil
+		})
+
+	case "Delay":
+		steps := int(b.Params.Int("Steps", 1))
+		if steps < 1 {
+			return fmt.Errorf("codegen: %s/%s: Steps must be >= 1", gi.Path, b.Name)
+		}
+		init := b.Params.Float("Init", 0)
+		slots := make([]int, steps)
+		for i := range slots {
+			slots[i] = lw.allocState(fmt.Sprintf("%s/%s.z%d", gi.Path, b.Name, i), outDT, init)
+		}
+		setOut(a.LoadState(outDT, slots[0]))
+		gs.deferred = append(gs.deferred, func() error {
+			in, err := lw.inVal(gs, b.ID, 0, outDT)
+			if err != nil {
+				return err
+			}
+			for i := 0; i+1 < steps; i++ {
+				v := lw.cur.LoadState(outDT, slots[i+1])
+				lw.cur.StoreState(slots[i], v)
+			}
+			lw.cur.StoreState(slots[steps-1], in)
+			return nil
+		})
+
+	case "DiscreteIntegrator":
+		return lw.lowerIntegrator(gs, b, decs, outDT)
+
+	case "DetectChange", "DetectIncrease", "DetectDecrease":
+		t := gi.InType(b.ID, 0)
+		in, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		slot := lw.allocState(gi.Path+"/"+b.Name, t, b.Params.Float("Init", 0))
+		prev := a.LoadState(t, slot)
+		var op ir.Op
+		switch b.Kind {
+		case "DetectChange":
+			op = ir.OpNe
+		case "DetectIncrease":
+			op = ir.OpGt
+		default:
+			op = ir.OpLt
+		}
+		res := a.Bin(op, t, in, prev)
+		a.StoreState(slot, in)
+		lw.probePair(decs[0], res)
+		setOut(res)
+
+	case "IntervalTest":
+		t := gi.InType(b.ID, 0)
+		in, err := lw.inVal(gs, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		lo := a.ConstVal(t, b.Params.Float("Lo", 0))
+		hi := a.ConstVal(t, b.Params.Float("Hi", 1))
+		inside := a.Bin(ir.OpAnd, model.Bool,
+			a.Bin(ir.OpGe, t, in, lo),
+			a.Bin(ir.OpLe, t, in, hi))
+		lw.probePair(decs[0], inside)
+		setOut(inside)
+
+	case "Backlash":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		half := b.Params.Float("Width", 1) / 2
+		slot := lw.allocState(gi.Path+"/"+b.Name, outDT, b.Params.Float("Init", 0))
+		y := a.LoadState(outDT, slot)
+		halfC := a.ConstVal(outDT, half)
+		res := a.Reg()
+		upper := a.Bin(ir.OpGt, outDT, in, a.Bin(ir.OpAdd, outDT, y, halfC))
+		j1 := a.JmpIfNot(upper)
+		a.Probe(decs[0], 2)
+		a.MovTo(res, a.Bin(ir.OpSub, outDT, in, halfC))
+		jE1 := a.Jmp()
+		a.Patch(j1)
+		lower := a.Bin(ir.OpLt, outDT, in, a.Bin(ir.OpSub, outDT, y, halfC))
+		j2 := a.JmpIfNot(lower)
+		a.Probe(decs[0], 0)
+		a.MovTo(res, a.Bin(ir.OpAdd, outDT, in, halfC))
+		jE2 := a.Jmp()
+		a.Patch(j2)
+		a.Probe(decs[0], 1)
+		a.MovTo(res, y)
+		a.Patch(jE1)
+		a.Patch(jE2)
+		a.StoreState(slot, res)
+		setOut(res)
+
+	case "WrapToZero":
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		th := a.ConstVal(outDT, b.Params.Float("Threshold", 255))
+		wrapped := a.Bin(ir.OpGt, outDT, in, th)
+		lw.probePair(decs[0], wrapped)
+		setOut(a.Select(outDT, wrapped, a.ConstVal(outDT, 0), in))
+
+	case "Assertion":
+		t := gi.InType(b.ID, 0)
+		in, err := gs.val(b.ID, 0)
+		if err != nil {
+			return err
+		}
+		ok := a.Truth(t, in)
+		lw.probePair(decs[0], ok)
+
+	case "If":
+		return lw.lowerIf(gs, b, decs)
+
+	case "SwitchCase":
+		return lw.lowerSwitchCase(gs, b, decs)
+
+	case "Subsystem":
+		inner, err := lw.subsystemScope(gs, b)
+		if err != nil {
+			return err
+		}
+		if err := lw.lowerGraphBody(inner); err != nil {
+			return err
+		}
+		outs, err := lw.subsystemOutputs(gs, b, inner)
+		if err != nil {
+			return err
+		}
+		for i, r := range outs {
+			gs.vals[model.PortRef{Block: b.ID, Port: i}] = r
+		}
+
+	case "EnabledSubsystem":
+		ctrlT := gi.InType(b.ID, 0)
+		ctrl, err := gs.val(b.ID, 0)
+		if err != nil {
+			return err
+		}
+		zero := a.ConstVal(ctrlT, 0)
+		en := a.Bin(ir.OpGt, ctrlT, ctrl, zero)
+		lw.probePair(decs[0], en)
+		return lw.lowerConditionalBody(gs, b, en)
+
+	case "TriggeredSubsystem":
+		ctrlT := gi.InType(b.ID, 0)
+		ctrl, err := gs.val(b.ID, 0)
+		if err != nil {
+			return err
+		}
+		high := a.Bin(ir.OpGt, ctrlT, ctrl, a.ConstVal(ctrlT, 0))
+		slot := lw.allocState(gi.Path+"/"+b.Name+".prevtrig", model.Bool, 0)
+		prev := a.LoadState(model.Bool, slot)
+		fired := a.Bin(ir.OpAnd, model.Bool, high, a.Un(ir.OpNot, model.Bool, prev))
+		a.StoreState(slot, high)
+		lw.probePair(decs[0], fired)
+		return lw.lowerConditionalBody(gs, b, fired)
+
+	case "ActionSubsystem":
+		action, err := gs.val(b.ID, 0)
+		if err != nil {
+			return err
+		}
+		return lw.lowerConditionalBody(gs, b, action)
+
+	case "MatlabFunction":
+		return lw.lowerMatlabFunction(gs, b)
+
+	case "Chart":
+		return lw.lowerChart(gs, b)
+
+	default:
+		if custom, ok := customLowerers[b.Kind]; ok {
+			return custom(lw, gs, b)
+		}
+		return fmt.Errorf("codegen: %s/%s: no lowering for kind %s", gi.Path, b.Name, b.Kind)
+	}
+	return nil
+}
+
+// promoteIn returns the promotion of two input port types.
+func promoteIn(gi *blocks.GraphInfo, id model.BlockID, p0, p1 int) model.DType {
+	a := gi.InType(id, p0)
+	b := gi.InType(id, p1)
+	if rankOf(a) >= rankOf(b) {
+		return a
+	}
+	return b
+}
+
+func rankOf(d model.DType) int {
+	return int(d) // DType constants are declared in promotion order
+}
+
+// switchCond evaluates a Switch block's criteria over control input 1.
+func (lw *lowerer) switchCond(gs *graphScope, b *model.Block) (int32, error) {
+	a := lw.cur
+	ctrlT := gs.gi.InType(b.ID, 1)
+	ctrl, err := gs.val(b.ID, 1)
+	if err != nil {
+		return 0, err
+	}
+	switch crit := b.Params.String("Criteria", "~=0"); crit {
+	case "~=0":
+		return a.Truth(ctrlT, ctrl), nil
+	case ">=", ">":
+		// Threshold comparison happens in double, like generated C casts.
+		c := a.Cast(model.Float64, ctrlT, ctrl)
+		th := a.ConstVal(model.Float64, b.Params.Float("Threshold", 0))
+		op := ir.OpGe
+		if crit == ">" {
+			op = ir.OpGt
+		}
+		return a.Bin(op, model.Float64, c, th), nil
+	default:
+		return 0, fmt.Errorf("codegen: %s/%s: unknown switch criteria %q", gs.gi.Path, b.Name, crit)
+	}
+}
+
+// lowerLogic emits a logic block: condition probes on every input (mode a),
+// then the combined output with its decision probe.
+func (lw *lowerer) lowerLogic(gs *graphScope, b *model.Block, decs []int) error {
+	a := lw.cur
+	n := gs.gi.InCount[b.ID]
+	conds := lw.ix.BlockConds[b]
+	op := b.Params.String("Op", "AND")
+
+	bools := make([]int32, n)
+	for i := 0; i < n; i++ {
+		t := gs.gi.InType(b.ID, i)
+		v, err := gs.val(b.ID, i)
+		if err != nil {
+			return err
+		}
+		bools[i] = a.Truth(t, v)
+		if i < len(conds) {
+			a.CondProbe(conds[i], bools[i])
+		}
+	}
+
+	var res int32
+	switch op {
+	case "NOT":
+		res = a.Un(ir.OpNot, model.Bool, bools[0])
+	case "AND", "NAND":
+		res = bools[0]
+		for _, x := range bools[1:] {
+			res = a.Bin(ir.OpAnd, model.Bool, res, x)
+		}
+		if op == "NAND" {
+			res = a.Un(ir.OpNot, model.Bool, res)
+		}
+	case "OR", "NOR":
+		res = bools[0]
+		for _, x := range bools[1:] {
+			res = a.Bin(ir.OpOr, model.Bool, res, x)
+		}
+		if op == "NOR" {
+			res = a.Un(ir.OpNot, model.Bool, res)
+		}
+	case "XOR":
+		res = bools[0]
+		for _, x := range bools[1:] {
+			res = a.Bin(ir.OpXor, model.Bool, res, x)
+		}
+	default:
+		return fmt.Errorf("codegen: %s/%s: unknown logic Op %q", gs.gi.Path, b.Name, op)
+	}
+	lw.probePair(decs[0], res)
+	gs.vals[model.PortRef{Block: b.ID, Port: 0}] = res
+	return nil
+}
+
+// lowerLookup emits a Lookup1D region chain: clamp-low, each interpolation
+// interval, clamp-high — each region a decision outcome (mode d).
+func (lw *lowerer) lowerLookup(gs *graphScope, b *model.Block, decs []int, outDT model.DType) error {
+	a := lw.cur
+	bp := b.Params.Floats("Breakpoints", nil)
+	tab := b.Params.Floats("Table", nil)
+	if len(tab) != len(bp) {
+		return fmt.Errorf("codegen: %s/%s: Table and Breakpoints lengths differ", gs.gi.Path, b.Name)
+	}
+	in, err := lw.inVal(gs, b.ID, 0, model.Float64)
+	if err != nil {
+		return err
+	}
+	n := len(bp)
+	res := a.Reg() // float64 result
+	var ends []int
+
+	// Region 0: below the first breakpoint.
+	b0 := a.ConstVal(model.Float64, bp[0])
+	below := a.Bin(ir.OpLt, model.Float64, in, b0)
+	j := a.JmpIfNot(below)
+	a.Probe(decs[0], 0)
+	a.ConstTo(res, model.Float64, model.EncodeFloat(model.Float64, tab[0]))
+	ends = append(ends, a.Jmp())
+	a.Patch(j)
+
+	// Interior intervals.
+	for k := 0; k+1 < n; k++ {
+		hi := a.ConstVal(model.Float64, bp[k+1])
+		inRange := a.Bin(ir.OpLt, model.Float64, in, hi)
+		var jn int
+		if k+2 < n {
+			jn = a.JmpIfNot(inRange)
+		} else {
+			jn = a.JmpIfNot(inRange) // last interval falls through to clamp-high
+		}
+		a.Probe(decs[0], k+1)
+		// res = t0 + (in-b0) * (t1-t0)/(b1-b0)
+		lo := a.ConstVal(model.Float64, bp[k])
+		dx := a.Bin(ir.OpSub, model.Float64, in, lo)
+		slope := 0.0
+		if bp[k+1] != bp[k] {
+			slope = (tab[k+1] - tab[k]) / (bp[k+1] - bp[k])
+		}
+		sl := a.ConstVal(model.Float64, slope)
+		t0 := a.ConstVal(model.Float64, tab[k])
+		a.MovTo(res, a.Bin(ir.OpAdd, model.Float64, t0, a.Bin(ir.OpMul, model.Float64, dx, sl)))
+		ends = append(ends, a.Jmp())
+		a.Patch(jn)
+	}
+
+	// Region n: at or above the last breakpoint.
+	a.Probe(decs[0], n)
+	a.ConstTo(res, model.Float64, model.EncodeFloat(model.Float64, tab[n-1]))
+	for _, e := range ends {
+		a.Patch(e)
+	}
+	gs.vals[model.PortRef{Block: b.ID, Port: 0}] = a.Cast(outDT, model.Float64, res)
+	return nil
+}
+
+// lowerIntegrator emits a forward-Euler discrete integrator. The state
+// update (and its saturation decision, when bounded) runs in the deferred
+// phase; the output is the pre-update state, so the block is
+// non-feedthrough.
+func (lw *lowerer) lowerIntegrator(gs *graphScope, b *model.Block, decs []int, outDT model.DType) error {
+	a := lw.cur
+	slot := lw.allocState(gs.gi.Path+"/"+b.Name, outDT, b.Params.Float("Init", 0))
+	gs.vals[model.PortRef{Block: b.ID, Port: 0}] = a.LoadState(outDT, slot)
+
+	k := b.Params.Float("K", 1)
+	ts := lw.d.Model.SampleTime
+	_, bounded := b.Params["Lower"]
+
+	gs.deferred = append(gs.deferred, func() error {
+		a := lw.cur
+		in, err := lw.inVal(gs, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		y := a.LoadState(outDT, slot)
+		dy := a.Bin(ir.OpMul, outDT, in, a.ConstVal(outDT, k*ts))
+		next := a.Bin(ir.OpAdd, outDT, y, dy)
+		if bounded {
+			lo := a.ConstVal(outDT, b.Params.Float("Lower", 0))
+			hi := a.ConstVal(outDT, b.Params.Float("Upper", 1))
+			res := a.Reg()
+			below := a.Bin(ir.OpLt, outDT, next, lo)
+			j1 := a.JmpIfNot(below)
+			a.Probe(decs[0], 0)
+			a.MovTo(res, lo)
+			jE1 := a.Jmp()
+			a.Patch(j1)
+			above := a.Bin(ir.OpGt, outDT, next, hi)
+			j2 := a.JmpIfNot(above)
+			a.Probe(decs[0], 2)
+			a.MovTo(res, hi)
+			jE2 := a.Jmp()
+			a.Patch(j2)
+			a.Probe(decs[0], 1)
+			a.MovTo(res, next)
+			a.Patch(jE1)
+			a.Patch(jE2)
+			next = res
+		}
+		a.StoreState(slot, next)
+		return nil
+	})
+	return nil
+}
+
+// lowerIf emits the if/elseif/else cascade of an If block: each condition is
+// its own boolean decision probed only when reached, exactly like the
+// generated C (mode c).
+func (lw *lowerer) lowerIf(gs *graphScope, b *model.Block, decs []int) error {
+	a := lw.cur
+	exprs := lw.d.IfConds[b]
+	n := gs.gi.InCount[b.ID]
+
+	env := newScriptEnv()
+	for i := 0; i < n; i++ {
+		t := gs.gi.InType(b.ID, i)
+		v, err := gs.val(b.ID, i)
+		if err != nil {
+			return err
+		}
+		env.bind(fmt.Sprintf("u%d", i+1), v, t)
+	}
+
+	// Allocate action output registers, all initially false.
+	outs := make([]int32, len(exprs)+1)
+	for i := range outs {
+		outs[i] = a.Reg()
+		a.ConstTo(outs[i], model.Bool, 0)
+	}
+
+	var ends []int
+	for i, e := range exprs {
+		c, err := lw.evalCond(env, e)
+		if err != nil {
+			return err
+		}
+		lw.probePair(decs[i], c)
+		j := a.JmpIfNot(c)
+		a.ConstTo(outs[i], model.Bool, 1)
+		ends = append(ends, a.Jmp())
+		a.Patch(j)
+	}
+	a.ConstTo(outs[len(exprs)], model.Bool, 1) // else action
+	for _, e := range ends {
+		a.Patch(e)
+	}
+	for i, r := range outs {
+		gs.vals[model.PortRef{Block: b.ID, Port: i}] = r
+	}
+	return nil
+}
+
+// lowerSwitchCase emits the C switch of a SwitchCase block (mode c).
+func (lw *lowerer) lowerSwitchCase(gs *graphScope, b *model.Block, decs []int) error {
+	a := lw.cur
+	cases := b.Params.Ints("Cases", nil)
+	t := gs.gi.InType(b.ID, 0)
+	raw, err := gs.val(b.ID, 0)
+	if err != nil {
+		return err
+	}
+	v := a.Cast(model.Int32, t, raw)
+
+	outs := make([]int32, len(cases)+1)
+	for i := range outs {
+		outs[i] = a.Reg()
+		a.ConstTo(outs[i], model.Bool, 0)
+	}
+	var ends []int
+	for k, cv := range cases {
+		kc := a.Const(model.Int32, model.EncodeInt(model.Int32, cv))
+		eq := a.Bin(ir.OpEq, model.Int32, v, kc)
+		j := a.JmpIfNot(eq)
+		a.Probe(decs[0], k)
+		a.ConstTo(outs[k], model.Bool, 1)
+		ends = append(ends, a.Jmp())
+		a.Patch(j)
+	}
+	a.Probe(decs[0], len(cases))
+	a.ConstTo(outs[len(cases)], model.Bool, 1)
+	for _, e := range ends {
+		a.Patch(e)
+	}
+	for i, r := range outs {
+		gs.vals[model.PortRef{Block: b.ID, Port: i}] = r
+	}
+	return nil
+}
+
+// lowerMatlabFunction emits a MATLAB Function body: inputs bound to ports,
+// outputs/locals reset each step, state variables persisted in state slots.
+func (lw *lowerer) lowerMatlabFunction(gs *graphScope, b *model.Block) error {
+	a := lw.cur
+	f := lw.d.Funcs[b]
+	env := newScriptEnv()
+
+	for i, d := range f.Inputs() {
+		v, err := lw.inVal(gs, b.ID, i, d.Type)
+		if err != nil {
+			return err
+		}
+		env.bind(d.Name, v, d.Type)
+	}
+	for _, d := range f.Outputs() {
+		r := a.Reg()
+		a.ConstTo(r, d.Type, model.Encode(d.Type, d.Init))
+		env.bind(d.Name, r, d.Type)
+	}
+	for _, d := range f.Locals() {
+		r := a.Reg()
+		a.ConstTo(r, d.Type, model.Encode(d.Type, d.Init))
+		env.bind(d.Name, r, d.Type)
+	}
+	states := f.States()
+	slots := make([]int, len(states))
+	for i, d := range states {
+		slots[i] = lw.allocState(fmt.Sprintf("%s/%s.%s", gs.gi.Path, b.Name, d.Name), d.Type, d.Init)
+		r := a.Reg()
+		a.MovTo(r, a.LoadState(d.Type, slots[i]))
+		env.bind(d.Name, r, d.Type)
+	}
+
+	if err := lw.execStmts(env, f.Body); err != nil {
+		return err
+	}
+
+	for i, d := range states {
+		v, _ := env.lookup(d.Name)
+		a.StoreState(slots[i], v.reg)
+	}
+	for i, d := range f.Outputs() {
+		v, _ := env.lookup(d.Name)
+		gs.vals[model.PortRef{Block: b.ID, Port: i}] = v.reg
+	}
+	return nil
+}
+
+// CustomLowerer lowers a user-registered block kind; examples/customblock
+// installs one. It receives internal lowering hooks via LowerContext.
+type CustomLowerer func(ctx *LowerContext, b *model.Block) error
+
+var customLowerers = map[string]func(lw *lowerer, gs *graphScope, b *model.Block) error{}
+
+// RegisterLowerer installs IR lowering for a custom block kind registered
+// with blocks.Register.
+func RegisterLowerer(kind string, fn CustomLowerer) {
+	customLowerers[kind] = func(lw *lowerer, gs *graphScope, b *model.Block) error {
+		return fn(&LowerContext{lw: lw, gs: gs}, b)
+	}
+}
+
+// LowerContext is the limited lowering API exposed to custom blocks.
+type LowerContext struct {
+	lw *lowerer
+	gs *graphScope
+}
+
+// Asm returns the active assembler.
+func (c *LowerContext) Asm() *ir.Asm { return c.lw.cur }
+
+// Input returns the register of input port p cast to want.
+func (c *LowerContext) Input(b *model.Block, p int, want model.DType) (int32, error) {
+	return c.lw.inVal(c.gs, b.ID, p, want)
+}
+
+// InputType returns the resolved type of input port p.
+func (c *LowerContext) InputType(b *model.Block, p int) model.DType {
+	return c.gs.gi.InType(b.ID, p)
+}
+
+// OutputType returns the resolved type of output port p.
+func (c *LowerContext) OutputType(b *model.Block, p int) model.DType {
+	return c.gs.gi.OutType[model.PortRef{Block: b.ID, Port: p}]
+}
+
+// SetOutput binds output port p to register r.
+func (c *LowerContext) SetOutput(b *model.Block, p int, r int32) {
+	c.gs.vals[model.PortRef{Block: b.ID, Port: p}] = r
+}
+
+// AllocState reserves a persistent state slot initialized to init.
+func (c *LowerContext) AllocState(name string, dt model.DType, init float64) int {
+	return c.lw.allocState(name, dt, init)
+}

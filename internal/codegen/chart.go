@@ -1,0 +1,199 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+// lowerChart emits a Stateflow chart block. The active configuration is
+// stored as the index of its leaf state; outputs and locals live in state
+// slots. Each step dispatches on the active leaf and evaluates its
+// candidate transitions outer-first (Stateflow precedence), probing every
+// transition decision (mode d). Hierarchy is resolved statically: for each
+// (leaf, transition) pair the exit chain, entry chain and resulting leaf
+// are compile-time constants, so the generated code is straight-line per
+// candidate — exactly what a code generator would emit.
+func (lw *lowerer) lowerChart(gs *graphScope, b *model.Block) error {
+	ci := lw.d.Charts[b]
+	c := ci.Chart
+
+	descend, err := c.DefaultDescend(c.Initial)
+	if err != nil {
+		return err
+	}
+	initialChain := append(c.PathFromRoot(c.Initial), descend...)
+	initialLeaf := initialChain[len(initialChain)-1]
+
+	// Allocate persistent slots.
+	activeSlot := lw.allocState(fmt.Sprintf("%s/%s.active", gs.gi.Path, b.Name),
+		model.Int32, float64(c.LeafIndex(initialLeaf.Name)))
+	outSlots := make([]int, len(c.Outputs))
+	for i, v := range c.Outputs {
+		outSlots[i] = lw.allocState(fmt.Sprintf("%s/%s.%s", gs.gi.Path, b.Name, v.Name), v.Type, v.Init)
+	}
+	locSlots := make([]int, len(c.Locals))
+	for i, v := range c.Locals {
+		locSlots[i] = lw.allocState(fmt.Sprintf("%s/%s.%s", gs.gi.Path, b.Name, v.Name), v.Type, v.Init)
+	}
+
+	// Run the initial configuration's entry actions (outermost first)
+	// during model initialization; inputs read as typed zeros.
+	hasInitEntries := false
+	for _, s := range initialChain {
+		if ci.Entry[s] != nil {
+			hasInitEntries = true
+		}
+	}
+	if hasInitEntries {
+		saved := lw.cur
+		lw.cur = lw.initAsm
+		env := newScriptEnv()
+		for _, v := range c.Inputs {
+			env.bind(v.Name, lw.cur.ConstVal(v.Type, 0), v.Type)
+		}
+		if err := lw.bindChartVars(env, c, outSlots, locSlots); err != nil {
+			return err
+		}
+		for _, s := range initialChain {
+			if entry := ci.Entry[s]; entry != nil {
+				if err := lw.execStmts(env, entry); err != nil {
+					return err
+				}
+			}
+		}
+		lw.storeChartVars(env, c, outSlots, locSlots)
+		lw.cur = saved
+	}
+
+	a := lw.cur
+	env := newScriptEnv()
+	for i, v := range c.Inputs {
+		in, err := lw.inVal(gs, b.ID, i, v.Type)
+		if err != nil {
+			return err
+		}
+		env.bind(v.Name, in, v.Type)
+	}
+	if err := lw.bindChartVars(env, c, outSlots, locSlots); err != nil {
+		return err
+	}
+
+	active := a.Reg()
+	a.MovTo(active, a.LoadState(model.Int32, activeSlot))
+
+	var chartEnds []int
+	for k, leaf := range c.Leaves() {
+		trans := c.CandidateTransitions(leaf.Name)
+		path := c.PathFromRoot(leaf.Name)
+		hasDuring := false
+		for _, s := range path {
+			if ci.During[s] != nil {
+				hasDuring = true
+			}
+		}
+		if len(trans) == 0 && !hasDuring {
+			continue // nothing to execute in this configuration
+		}
+		kc := a.Const(model.Int32, model.EncodeInt(model.Int32, int64(k)))
+		isActive := a.Bin(ir.OpEq, model.Int32, active, kc)
+		skipState := a.JmpIfNot(isActive)
+
+		for _, t := range trans {
+			decID := lw.ix.TransDecision[t]
+			var g int32
+			if guard := ci.Guards[t]; guard != nil {
+				var err error
+				g, err = lw.evalCond(env, guard)
+				if err != nil {
+					return err
+				}
+			} else {
+				g = a.Const(model.Bool, 1)
+			}
+			lw.probePair(decID, g)
+			skipTrans := a.JmpIfNot(g)
+
+			plan, err := c.PlanFire(leaf.Name, t)
+			if err != nil {
+				return err
+			}
+			for _, s := range plan.Exits {
+				if exit := ci.Exit[s]; exit != nil {
+					if err := lw.execStmts(env, exit); err != nil {
+						return err
+					}
+				}
+			}
+			if act := ci.TransActs[t]; act != nil {
+				if err := lw.execStmts(env, act); err != nil {
+					return err
+				}
+			}
+			a.ConstTo(active, model.Int32, model.EncodeInt(model.Int32, int64(c.LeafIndex(plan.NewLeaf.Name))))
+			for _, s := range plan.Entries {
+				if entry := ci.Entry[s]; entry != nil {
+					if err := lw.execStmts(env, entry); err != nil {
+						return err
+					}
+				}
+			}
+			chartEnds = append(chartEnds, a.Jmp()) // at most one transition per step
+			a.Patch(skipTrans)
+		}
+
+		// No transition fired: during actions, outermost first.
+		for _, s := range path {
+			if during := ci.During[s]; during != nil {
+				if err := lw.execStmts(env, during); err != nil {
+					return err
+				}
+			}
+		}
+		chartEnds = append(chartEnds, a.Jmp())
+		a.Patch(skipState)
+	}
+	for _, e := range chartEnds {
+		a.Patch(e)
+	}
+
+	a.StoreState(activeSlot, active)
+	lw.storeChartVars(env, c, outSlots, locSlots)
+
+	for i, v := range c.Outputs {
+		sv, _ := env.lookup(v.Name)
+		gs.vals[model.PortRef{Block: b.ID, Port: i}] = sv.reg
+	}
+	return nil
+}
+
+// bindChartVars loads output/local slots into fresh mutable registers.
+func (lw *lowerer) bindChartVars(env *scriptEnv, c *stateflow.Chart, outSlots, locSlots []int) error {
+	a := lw.cur
+	for i, v := range c.Outputs {
+		r := a.Reg()
+		a.MovTo(r, a.LoadState(v.Type, outSlots[i]))
+		env.bind(v.Name, r, v.Type)
+	}
+	for i, v := range c.Locals {
+		r := a.Reg()
+		a.MovTo(r, a.LoadState(v.Type, locSlots[i]))
+		env.bind(v.Name, r, v.Type)
+	}
+	return nil
+}
+
+// storeChartVars writes the mutable registers back to their slots.
+func (lw *lowerer) storeChartVars(env *scriptEnv, c *stateflow.Chart, outSlots, locSlots []int) {
+	a := lw.cur
+	for i, v := range c.Outputs {
+		sv, _ := env.lookup(v.Name)
+		a.StoreState(outSlots[i], sv.reg)
+	}
+	for i, v := range c.Locals {
+		sv, _ := env.lookup(v.Name)
+		a.StoreState(locSlots[i], sv.reg)
+	}
+}

@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/coverage"
+	"cftcg/internal/model"
+	"cftcg/internal/vm"
+)
+
+// buildToy builds a small model exercising several block families:
+//
+//	Ret = Enable && (Power >= 500) ? sat(Power, 0, 1000) : prev
+func buildToy(t *testing.T) *model.Model {
+	t.Helper()
+	b := model.NewBuilder("Toy")
+	en := b.Inport("Enable", model.Int8)
+	pw := b.Inport("Power", model.Int32)
+	hot := b.Rel(">=", pw, b.ConstT(model.Int32, 500))
+	go_ := b.And(en, hot)
+	sat := b.Saturation(pw, 0, 1000)
+	prev := b.DelayT(sat, model.Int32, 0)
+	out := b.Switch(go_, sat, prev)
+	b.Outport("Ret", model.Int32, out)
+	return b.Model()
+}
+
+func TestCompileToy(t *testing.T) {
+	c, err := Compile(buildToy(t))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if len(c.Prog.In) != 2 {
+		t.Fatalf("want 2 input fields, got %d", len(c.Prog.In))
+	}
+	if c.Prog.TupleSize() != 5 {
+		t.Fatalf("tuple size: want 5 (int8+int32), got %d", c.Prog.TupleSize())
+	}
+	// Plan: AND (decision + 2 conds), Switch (decision), Saturation (3
+	// outcomes) => branches: 2 + 4 + 2 + 3 = 11.
+	if got := c.Plan.BranchCount(); got != 11 {
+		t.Fatalf("branch count: want 11, got %d", got)
+	}
+}
+
+func TestToyExecutionAndCoverage(t *testing.T) {
+	c, err := Compile(buildToy(t))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rec := coverage.NewRecorder(c.Plan)
+	m := vm.New(c.Prog, rec)
+	m.Init()
+
+	step := func(enable, power int64) int64 {
+		rec.BeginStep()
+		in := []uint64{
+			model.EncodeInt(model.Int8, enable),
+			model.EncodeInt(model.Int32, power),
+		}
+		m.Step(in)
+		return model.DecodeInt(model.Int32, m.Out()[0])
+	}
+
+	if got := step(1, 700); got != 700 {
+		t.Errorf("enabled in-range: want 700, got %d", got)
+	}
+	if got := step(1, 2000); got != 1000 {
+		t.Errorf("saturated high: want 1000, got %d", got)
+	}
+	if got := step(0, 300); got != 1000 {
+		t.Errorf("disabled holds previous saturated value: want 1000, got %d", got)
+	}
+	// The delay latched sat(300) = 300 on the previous step; power below
+	// the threshold routes the switch to the delayed path.
+	if got := step(1, -50); got != 300 {
+		t.Errorf("power below threshold takes delayed path: want 300, got %d", got)
+	}
+
+	rep := rec.Report()
+	if rep.Decision() != 100 {
+		t.Errorf("decision coverage: want 100%%, got %v\nuncovered: %v", rep.Decision(), rep.UncoveredDecisions)
+	}
+	if rep.Condition() != 100 {
+		t.Errorf("condition coverage: want 100%%, got %v", rep.Condition())
+	}
+}
+
+func TestEmitDriverShape(t *testing.T) {
+	c, err := Compile(buildToy(t))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	drv := EmitDriver(c.Prog)
+	for _, want := range []string{
+		"FuzzTestOneInput",
+		"int dataLen = 5",
+		"memcpy(&Toy_Enable, data + i * dataLen + 0, 1)",
+		"memcpy(&Toy_Power, data + i * dataLen + 1, 4)",
+		"Toy_step(",
+	} {
+		if !strings.Contains(drv, want) {
+			t.Errorf("driver missing %q:\n%s", want, drv)
+		}
+	}
+	src := EmitStep(c.Prog, c.Plan)
+	if !strings.Contains(src, "CoverageStatistics(") {
+		t.Errorf("step source missing instrumentation:\n%s", src)
+	}
+}

@@ -1,0 +1,211 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"cftcg/internal/coverage"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// EmitDriver renders the model-specific fuzz driver as C source — the
+// artifact of the paper's Figure 3. The driver splits the fuzzer's byte
+// stream into per-iteration tuples, copies each field into the typed inport
+// variables, and calls the model step function until the stream runs dry.
+func EmitDriver(p *ir.Program) string {
+	var w strings.Builder
+	tuple := p.TupleSize()
+
+	fmt.Fprintf(&w, "/* Fuzz driver generated for model %s */\n", p.Name)
+	w.WriteString("void FuzzTestOneInput(const uint8_t *data, size_t size) {\n")
+	fmt.Fprintf(&w, "    %s_init();  /* model initialization: reset all states */\n", p.Name)
+	fmt.Fprintf(&w, "    int dataLen = %d;  /* input bytes required for one iteration */\n", tuple)
+	w.WriteString("    int i = 0;\n")
+	w.WriteString("    while (true) {\n")
+	w.WriteString("        if ((i + 1) * dataLen > size) {\n")
+	w.WriteString("            break;  /* trailing bytes cannot fill every inport: discard */\n")
+	w.WriteString("        }\n")
+	for _, f := range p.In {
+		fmt.Fprintf(&w, "        %s %s_%s = 0;  /* model input variable */\n", f.Type.CName(), p.Name, f.Name)
+	}
+	for _, f := range p.Out {
+		fmt.Fprintf(&w, "        %s %s_%s;  /* model output variable */\n", f.Type.CName(), p.Name, f.Name)
+	}
+	for _, f := range p.In {
+		fmt.Fprintf(&w, "        memcpy(&%s_%s, data + i * dataLen + %d, %d);\n",
+			p.Name, f.Name, f.Offset, f.Type.Size())
+	}
+	fmt.Fprintf(&w, "        %s_step(", p.Name)
+	for i, f := range p.In {
+		if i > 0 {
+			w.WriteString(", ")
+		}
+		fmt.Fprintf(&w, "%s_%s", p.Name, f.Name)
+	}
+	for _, f := range p.Out {
+		if len(p.In) > 0 {
+			w.WriteString(", ")
+		}
+		fmt.Fprintf(&w, "&%s_%s", p.Name, f.Name)
+	}
+	w.WriteString(");  /* model iteration */\n")
+	w.WriteString("        i = i + 1;\n")
+	w.WriteString("    }\n")
+	w.WriteString("}\n")
+	return w.String()
+}
+
+// EmitStep renders the instrumented step function as C-like source from the
+// lowered IR: every register assignment becomes a statement, every branch a
+// goto, and every probe a CoverageStatistics() call annotated with the
+// decision it instruments (the paper's Figure 4 artifacts).
+func EmitStep(p *ir.Program, plan *coverage.Plan) string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "/* Instrumented step function for model %s */\n", p.Name)
+	fmt.Fprintf(&w, "/* %d registers, %d state slots, %d coverage branch slots */\n",
+		p.NumRegs, p.NumState, plan.NumBranches)
+	fmt.Fprintf(&w, "void %s_step(", p.Name)
+	for i, f := range p.In {
+		if i > 0 {
+			w.WriteString(", ")
+		}
+		fmt.Fprintf(&w, "%s %s", f.Type.CName(), f.Name)
+	}
+	for _, f := range p.Out {
+		if len(p.In) > 0 {
+			w.WriteString(", ")
+		}
+		fmt.Fprintf(&w, "%s *%s", f.Type.CName(), f.Name)
+	}
+	w.WriteString(") {\n")
+	emitBody(&w, p, plan, p.Step)
+	w.WriteString("}\n")
+	return w.String()
+}
+
+// EmitInit renders the init function.
+func EmitInit(p *ir.Program, plan *coverage.Plan) string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "void %s_init(void) {\n", p.Name)
+	emitBody(&w, p, plan, p.Init)
+	w.WriteString("}\n")
+	return w.String()
+}
+
+func emitBody(w *strings.Builder, p *ir.Program, plan *coverage.Plan, code []ir.Instr) {
+	targets := map[int]bool{}
+	for _, in := range code {
+		switch in.Op {
+		case ir.OpJmp, ir.OpJmpIf, ir.OpJmpIfNot:
+			targets[int(in.Imm)] = true
+		}
+	}
+	reg := func(r int32) string { return fmt.Sprintf("r%d", r) }
+	for pc, in := range code {
+		if targets[pc] {
+			fmt.Fprintf(w, "L%d:\n", pc)
+		}
+		switch in.Op {
+		case ir.OpNop, ir.OpHalt:
+			if in.Op == ir.OpHalt && pc == len(code)-1 {
+				if targets[pc] {
+					fmt.Fprintf(w, "    ;\n")
+				}
+				continue
+			}
+			fmt.Fprintf(w, "    ;\n")
+		case ir.OpConst:
+			fmt.Fprintf(w, "    %s = (%s)%g;\n", reg(in.Dst), in.DT.CName(), model.Decode(in.DT, in.Imm))
+		case ir.OpMov:
+			fmt.Fprintf(w, "    %s = %s;\n", reg(in.Dst), reg(in.A))
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv:
+			op := map[ir.Op]string{ir.OpAdd: "+", ir.OpSub: "-", ir.OpMul: "*", ir.OpDiv: "/"}[in.Op]
+			fmt.Fprintf(w, "    %s = %s %s %s;\n", reg(in.Dst), reg(in.A), op, reg(in.B))
+		case ir.OpNeg:
+			fmt.Fprintf(w, "    %s = -%s;\n", reg(in.Dst), reg(in.A))
+		case ir.OpAbs:
+			fmt.Fprintf(w, "    %s = abs(%s);\n", reg(in.Dst), reg(in.A))
+		case ir.OpMin:
+			fmt.Fprintf(w, "    %s = min(%s, %s);\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpMax:
+			fmt.Fprintf(w, "    %s = max(%s, %s);\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			op := map[ir.Op]string{ir.OpEq: "==", ir.OpNe: "!=", ir.OpLt: "<", ir.OpLe: "<=", ir.OpGt: ">", ir.OpGe: ">="}[in.Op]
+			fmt.Fprintf(w, "    %s = (%s %s %s);\n", reg(in.Dst), reg(in.A), op, reg(in.B))
+		case ir.OpAnd:
+			fmt.Fprintf(w, "    %s = %s && %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpOr:
+			fmt.Fprintf(w, "    %s = %s || %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpXor:
+			fmt.Fprintf(w, "    %s = %s != %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpNot:
+			fmt.Fprintf(w, "    %s = !%s;\n", reg(in.Dst), reg(in.A))
+		case ir.OpBitAnd:
+			fmt.Fprintf(w, "    %s = %s & %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpBitOr:
+			fmt.Fprintf(w, "    %s = %s | %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpBitXor:
+			fmt.Fprintf(w, "    %s = %s ^ %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpShl:
+			fmt.Fprintf(w, "    %s = %s << %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpShr:
+			fmt.Fprintf(w, "    %s = %s >> %s;\n", reg(in.Dst), reg(in.A), reg(in.B))
+		case ir.OpTruth:
+			fmt.Fprintf(w, "    %s = (%s != 0);\n", reg(in.Dst), reg(in.A))
+		case ir.OpSelect:
+			fmt.Fprintf(w, "    %s = %s ? %s : %s;\n", reg(in.Dst), reg(in.A), reg(in.B), reg(in.C))
+		case ir.OpCast:
+			fmt.Fprintf(w, "    %s = (%s)%s;\n", reg(in.Dst), in.DT.CName(), reg(in.A))
+		case ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpTan,
+			ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
+			fmt.Fprintf(w, "    %s = %s(%s);\n", reg(in.Dst), in.Op.String(), reg(in.A))
+		case ir.OpLoadIn:
+			fmt.Fprintf(w, "    %s = %s;  /* inport */\n", reg(in.Dst), p.In[in.Imm].Name)
+		case ir.OpStoreOut:
+			fmt.Fprintf(w, "    *%s = %s;  /* outport */\n", p.Out[in.Imm].Name, reg(in.A))
+		case ir.OpLoadState:
+			fmt.Fprintf(w, "    %s = DW.%s;\n", reg(in.Dst), stateName(p, int(in.Imm)))
+		case ir.OpStoreState:
+			fmt.Fprintf(w, "    DW.%s = %s;\n", stateName(p, int(in.Imm)), reg(in.A))
+		case ir.OpJmp:
+			fmt.Fprintf(w, "    goto L%d;\n", in.Imm)
+		case ir.OpJmpIf:
+			fmt.Fprintf(w, "    if (%s) goto L%d;\n", reg(in.A), in.Imm)
+		case ir.OpJmpIfNot:
+			fmt.Fprintf(w, "    if (!%s) goto L%d;\n", reg(in.A), in.Imm)
+		case ir.OpProbe:
+			d := plan.Decision(int(in.A))
+			fmt.Fprintf(w, "    CoverageStatistics(%d);  /* [%c] %s -> outcome %d */\n",
+				d.OutcomeBase+int(in.B), d.Kind.Mode(), d.Label, in.B)
+		case ir.OpCondProbe:
+			c := plan.Cond(int(in.A))
+			fmt.Fprintf(w, "    CoverageCondition(%d, %s);  /* %s */\n", c.ID, reg(in.B), c.Label)
+		}
+	}
+}
+
+func stateName(p *ir.Program, slot int) string {
+	if slot < len(p.StateNames) {
+		n := p.StateNames[slot]
+		// Use the last path component; C struct fields can't contain '/'.
+		if i := strings.LastIndexByte(n, '/'); i >= 0 {
+			n = n[i+1:]
+		}
+		return fmt.Sprintf("%s_%d", sanitize(n), slot)
+	}
+	return fmt.Sprintf("s%d", slot)
+}
+
+func sanitize(s string) string {
+	var w strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			w.WriteRune(r)
+		default:
+			w.WriteByte('_')
+		}
+	}
+	return w.String()
+}

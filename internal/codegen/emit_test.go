@@ -1,0 +1,97 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+// TestEmitDriverGolden pins the exact driver text for a two-input model —
+// the Figure 3 artifact — so accidental format drift is caught.
+func TestEmitDriverGolden(t *testing.T) {
+	b := model.NewBuilder("Demo")
+	en := b.Inport("Enable", model.Int8)
+	pw := b.Inport("Power", model.Int32)
+	b.Outport("Ret", model.Int32, b.Switch(en, pw, b.ConstT(model.Int32, 0)))
+	c, err := Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := EmitDriver(c.Prog)
+	want := `/* Fuzz driver generated for model Demo */
+void FuzzTestOneInput(const uint8_t *data, size_t size) {
+    Demo_init();  /* model initialization: reset all states */
+    int dataLen = 5;  /* input bytes required for one iteration */
+    int i = 0;
+    while (true) {
+        if ((i + 1) * dataLen > size) {
+            break;  /* trailing bytes cannot fill every inport: discard */
+        }
+        int8 Demo_Enable = 0;  /* model input variable */
+        int32 Demo_Power = 0;  /* model input variable */
+        int32 Demo_Ret;  /* model output variable */
+        memcpy(&Demo_Enable, data + i * dataLen + 0, 1);
+        memcpy(&Demo_Power, data + i * dataLen + 1, 4);
+        Demo_step(Demo_Enable, Demo_Power, &Demo_Ret);  /* model iteration */
+        i = i + 1;
+    }
+}
+`
+	if got != want {
+		t.Errorf("driver drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestEmitStepAnnotatesModes: every instrumentation mode letter appears in
+// the emitted comments for a model containing one block of each mode class.
+func TestEmitStepAnnotatesModes(t *testing.T) {
+	b := model.NewBuilder("Modes")
+	x := b.Inport("x", model.Int32)
+	y := b.Inport("y", model.Int32)
+	gate := b.And(b.Rel(">", x, b.ConstT(model.Int32, 0)), b.Rel(">", y, b.ConstT(model.Int32, 0))) // (a)
+	sw := b.Switch(gate, x, y)                                                                      // (b)
+	ifb := b.If("sel", []string{"u1 > 5"}, sw)                                                      // (c)
+	_, act := b.ActionSubsystem("Act", ifb.Out(0))
+	ai := act.Inport("v", model.Int32)
+	act.Outport("o", model.Int32, act.Gain(ai, 2)).Block().Params["Init"] = 0.0
+	actBlk := b.Graph().BlockByName("Act")
+	b.Connect(sw, model.PortRef{Block: actBlk.ID, Port: 1})
+	sat := b.Saturation(model.PortRef{Block: actBlk.ID, Port: 0}, -5, 5) // (d)
+	b.Outport("o", model.Int32, sat)
+
+	c, err := Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := EmitStep(c.Prog, c.Plan)
+	for _, mode := range []string{"/* [a]", "/* [b]", "/* [c]", "/* [d]"} {
+		if !strings.Contains(src, mode) {
+			t.Errorf("emitted step missing instrumentation mode %q", mode)
+		}
+	}
+	if !strings.Contains(src, "CoverageCondition(") {
+		t.Error("condition probes missing from emitted source")
+	}
+	if !strings.Contains(src, "goto L") {
+		t.Error("branch structure missing from emitted source")
+	}
+}
+
+// TestEmitInitContainsStateSetup: init function stores every state slot.
+func TestEmitInitContainsStateSetup(t *testing.T) {
+	b := model.NewBuilder("I")
+	x := b.Inport("x", model.Float64)
+	b.Outport("o", model.Float64, b.UnitDelay(x, 42))
+	c, err := Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := EmitInit(c.Prog, c.Plan)
+	if !strings.Contains(src, "void I_init(void)") {
+		t.Errorf("init signature:\n%s", src)
+	}
+	if !strings.Contains(src, "DW.") || !strings.Contains(src, "= (real_T)42") {
+		t.Errorf("state initialization missing:\n%s", src)
+	}
+}

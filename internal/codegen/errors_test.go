@@ -1,0 +1,112 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+func expectCompileError(t *testing.T, m *model.Model, want string) {
+	t.Helper()
+	_, err := Compile(m)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("want error containing %q, got %v", want, err)
+	}
+}
+
+func TestBadSwitchCriteria(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Int32)
+	h := b.Add("Switch", "sw", model.Params{"Criteria": "<=weird"})
+	b.Connect(x, h.In(0))
+	b.Connect(x, h.In(1))
+	b.Connect(x, h.In(2))
+	b.Outport("o", model.Int32, h.Out(0))
+	expectCompileError(t, b.Model(), "unknown switch criteria")
+}
+
+func TestBadTrigFn(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	h := b.Add("Trigonometry", "t", model.Params{"Fn": "sinh"}).From(x)
+	b.Outport("o", model.Float64, h.Out(0))
+	expectCompileError(t, b.Model(), "unknown trig Fn")
+}
+
+func TestBadRoundingFn(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	h := b.Add("Rounding", "r", model.Params{"Fn": "bankers"}).From(x)
+	b.Outport("o", model.Float64, h.Out(0))
+	expectCompileError(t, b.Model(), "unknown rounding Fn")
+}
+
+func TestBitwiseOnFloatRejected(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	h := b.Add("Bitwise", "bw", model.Params{"Op": "AND"}).From(x, x)
+	b.Outport("o", model.Float64, h.Out(0))
+	expectCompileError(t, b.Model(), "integer input")
+}
+
+func TestLookupLengthMismatch(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	h := b.Add("Lookup1D", "lk", model.Params{
+		"Breakpoints": []float64{0, 1, 2},
+		"Table":       []float64{5, 6},
+	}).From(x)
+	b.Outport("o", model.Float64, h.Out(0))
+	expectCompileError(t, b.Model(), "lengths differ")
+}
+
+func TestSwitchCaseMissingCases(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Int32)
+	h := b.Add("SwitchCase", "sc", model.Params{})
+	b.Connect(x, h.In(0))
+	_, err := Compile(b.Model())
+	if err == nil || !strings.Contains(err.Error(), "Cases") {
+		t.Errorf("want Cases error, got %v", err)
+	}
+}
+
+func TestIfWithoutConditions(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Int32)
+	h := b.Add("If", "sel", model.Params{"Inputs": 1})
+	b.Connect(x, h.In(0))
+	_, err := Compile(b.Model())
+	if err == nil || !strings.Contains(err.Error(), "Conditions") {
+		t.Errorf("want Conditions error, got %v", err)
+	}
+}
+
+func TestMergeFromNonConditionalRejected(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	mg := b.Add("Merge", "m", model.Params{"Inputs": 2})
+	b.Connect(b.Gain(x, 1), mg.In(0))
+	b.Connect(b.Gain(x, 2), mg.In(1))
+	b.Outport("o", model.Float64, mg.Out(0))
+	expectCompileError(t, b.Model(), "conditionally executed")
+}
+
+func TestBadMutationScriptSyntax(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Int32)
+	b.Matlab("bad", "output int32 y;\ny = x +;", x)
+	_, err := Compile(b.Model())
+	if err == nil {
+		t.Error("syntax error not surfaced")
+	}
+}
+
+func TestDelayBadSteps(t *testing.T) {
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Float64)
+	h := b.Add("Delay", "d", model.Params{"Steps": 0}).From(x)
+	b.Outport("o", model.Float64, h.Out(0))
+	expectCompileError(t, b.Model(), "Steps must be")
+}

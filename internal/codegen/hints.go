@@ -1,0 +1,116 @@
+package codegen
+
+import (
+	"sort"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// FieldHints statically extracts, for every input field, the constants the
+// program compares that field's dataflow against. These are the "dynamic
+// numerical range constraints" the paper's §5 discussion proposes deriving
+// with formal methods: an int32 inport that is only ever compared against
+// opcodes 0..3 and a threshold 4096 yields exactly those values (±1) as
+// high-value mutation candidates.
+//
+// The analysis is a single linear taint pass over the step function: each
+// register carries the set of input fields influencing it (collapsed to
+// "multiple" beyond one); comparisons between a single-field value and a
+// constant contribute that constant to the field's hint list. Taint flows
+// through state slots so thresholds on accumulated values still attribute
+// to the accumulating field.
+func FieldHints(p *ir.Program) [][]float64 {
+	const (
+		taintNone  = -1
+		taintMulti = -2
+	)
+	regTaint := make([]int, p.NumRegs)
+	stTaint := make([]int, p.NumState)
+	regConst := make([]bool, p.NumRegs)
+	regConstVal := make([]float64, p.NumRegs)
+	for i := range regTaint {
+		regTaint[i] = taintNone
+	}
+	for i := range stTaint {
+		stTaint[i] = taintNone
+	}
+
+	hints := make([]map[float64]bool, len(p.In))
+	for i := range hints {
+		hints[i] = map[float64]bool{}
+	}
+	merge := func(a, b int) int {
+		switch {
+		case a == taintNone:
+			return b
+		case b == taintNone:
+			return a
+		case a == b:
+			return a
+		default:
+			return taintMulti
+		}
+	}
+	record := func(field int, v float64) {
+		if field >= 0 && field < len(hints) {
+			hints[field][v] = true
+		}
+	}
+
+	// Two passes so taint that cycles through state slots stabilizes.
+	for pass := 0; pass < 2; pass++ {
+		for i := range p.Step {
+			ins := &p.Step[i]
+			switch ins.Op {
+			case ir.OpConst:
+				regTaint[ins.Dst] = taintNone
+				regConst[ins.Dst] = true
+				regConstVal[ins.Dst] = model.Decode(ins.DT, ins.Imm)
+			case ir.OpLoadIn:
+				regTaint[ins.Dst] = int(ins.Imm)
+				regConst[ins.Dst] = false
+			case ir.OpLoadState:
+				regTaint[ins.Dst] = stTaint[ins.Imm]
+				regConst[ins.Dst] = false
+			case ir.OpStoreState:
+				stTaint[ins.Imm] = merge(stTaint[ins.Imm], regTaint[ins.A])
+			case ir.OpMov, ir.OpNeg, ir.OpAbs, ir.OpNot, ir.OpTruth, ir.OpCast,
+				ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpTan,
+				ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
+				regTaint[ins.Dst] = regTaint[ins.A]
+				regConst[ins.Dst] = ins.Op == ir.OpMov && regConst[ins.A]
+				if regConst[ins.Dst] {
+					regConstVal[ins.Dst] = regConstVal[ins.A]
+				}
+			case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+				// Comparison: constant vs single-field value -> hint.
+				if regConst[ins.B] && regTaint[ins.A] >= 0 {
+					record(regTaint[ins.A], regConstVal[ins.B])
+				}
+				if regConst[ins.A] && regTaint[ins.B] >= 0 {
+					record(regTaint[ins.B], regConstVal[ins.A])
+				}
+				regTaint[ins.Dst] = merge(regTaint[ins.A], regTaint[ins.B])
+				regConst[ins.Dst] = false
+			case ir.OpSelect:
+				regTaint[ins.Dst] = merge(merge(regTaint[ins.A], regTaint[ins.B]), regTaint[ins.C])
+				regConst[ins.Dst] = false
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMin, ir.OpMax,
+				ir.OpAnd, ir.OpOr, ir.OpXor,
+				ir.OpBitAnd, ir.OpBitOr, ir.OpBitXor, ir.OpShl, ir.OpShr:
+				regTaint[ins.Dst] = merge(regTaint[ins.A], regTaint[ins.B])
+				regConst[ins.Dst] = false
+			}
+		}
+	}
+
+	out := make([][]float64, len(p.In))
+	for i, set := range hints {
+		for v := range set {
+			out[i] = append(out[i], v)
+		}
+		sort.Float64s(out[i])
+	}
+	return out
+}

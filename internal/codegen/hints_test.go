@@ -1,0 +1,114 @@
+package codegen
+
+import (
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+func hintsFor(t *testing.T, m *model.Model) [][]float64 {
+	t.Helper()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return FieldHints(c.Prog)
+}
+
+func contains(hs []float64, v float64) bool {
+	for _, h := range hs {
+		if h == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFieldHintsDirectComparison(t *testing.T) {
+	b := model.NewBuilder("H")
+	x := b.Inport("x", model.Int32)
+	y := b.Inport("y", model.Int32)
+	hot := b.Rel(">=", x, b.ConstT(model.Int32, 4096))
+	cold := b.Rel("<", y, b.ConstT(model.Int32, -7))
+	b.Outport("o", model.Bool, b.And(hot, cold))
+	hints := hintsFor(t, b.Model())
+
+	if !contains(hints[0], 4096) {
+		t.Errorf("field x should hint 4096: %v", hints[0])
+	}
+	if !contains(hints[1], -7) {
+		t.Errorf("field y should hint -7: %v", hints[1])
+	}
+	if contains(hints[0], -7) {
+		t.Errorf("hints must be field-attributed: x has %v", hints[0])
+	}
+}
+
+func TestFieldHintsThroughArithmetic(t *testing.T) {
+	// The threshold is compared against x*2, still single-field tainted.
+	b := model.NewBuilder("HA")
+	x := b.Inport("x", model.Int32)
+	b.Outport("o", model.Bool, b.Rel(">", b.Gain(x, 2), b.ConstT(model.Int32, 100)))
+	hints := hintsFor(t, b.Model())
+	if !contains(hints[0], 100) {
+		t.Errorf("threshold through gain should be attributed: %v", hints[0])
+	}
+}
+
+func TestFieldHintsMultiFieldExcluded(t *testing.T) {
+	// x + y compared against 5: influenced by both fields, no attribution.
+	b := model.NewBuilder("HM")
+	x := b.Inport("x", model.Int32)
+	y := b.Inport("y", model.Int32)
+	b.Outport("o", model.Bool, b.Rel("==", b.Add2(x, y), b.ConstT(model.Int32, 5)))
+	hints := hintsFor(t, b.Model())
+	if contains(hints[0], 5) || contains(hints[1], 5) {
+		t.Errorf("multi-field comparison must not attribute: %v / %v", hints[0], hints[1])
+	}
+}
+
+func TestFieldHintsInsideScripts(t *testing.T) {
+	b := model.NewBuilder("HS")
+	code := b.Inport("code", model.Int32)
+	ml := b.Matlab("auth", `
+input  int32 code;
+output bool ok = false;
+if (code == 9999) { ok = true; }
+`, code)
+	b.Outport("o", model.Bool, ml.Out(0))
+	hints := hintsFor(t, b.Model())
+	if !contains(hints[0], 9999) {
+		t.Errorf("script comparison constant should surface: %v", hints[0])
+	}
+}
+
+func TestFieldHintsThroughState(t *testing.T) {
+	// An accumulator fed by x is compared against 12: the constant should
+	// attribute back to x through the state slot.
+	b := model.NewBuilder("HT")
+	x := b.Inport("x", model.Int32)
+	ml := b.Matlab("acc", `
+input  int32 x;
+output bool trip = false;
+state  int32 sum = 0;
+sum = sum + x;
+if (sum >= 12) { trip = true; }
+`, x)
+	b.Outport("o", model.Bool, ml.Out(0))
+	hints := hintsFor(t, b.Model())
+	if !contains(hints[0], 12) {
+		t.Errorf("state-mediated threshold should attribute to x: %v", hints[0])
+	}
+}
+
+func TestFieldHintsOnBenchmarkAuthCode(t *testing.T) {
+	// EVCS-style: AuthCode compared against 4096; that constant must appear
+	// in the AuthCode field's hints — the exact §5 scenario.
+	bb := model.NewBuilder("AuthDemo")
+	authCode := bb.Inport("AuthCode", model.Int32)
+	bb.Outport("ok", model.Bool, bb.Rel("==", authCode, bb.ConstT(model.Int32, 4096)))
+	hints := hintsFor(t, bb.Model())
+	if !contains(hints[0], 4096) {
+		t.Errorf("auth code constant: %v", hints[0])
+	}
+}

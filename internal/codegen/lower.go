@@ -1,0 +1,318 @@
+// Package codegen lowers an analyzed model into the IR program executed by
+// the VM — the paper's "Schedule Convert + Code Synthesis" pipeline with
+// model-level branch instrumentation woven in (§3.1.2), plus the fuzz-driver
+// synthesis of §3.1.1 and a C-like source emitter for inspection.
+package codegen
+
+import (
+	"fmt"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/coverage"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// Lower compiles the design into an instrumented IR program. plan/ix must
+// come from coverage.Build on the same design.
+func Lower(d *blocks.Design, plan *coverage.Plan, ix *coverage.Index) (*ir.Program, error) {
+	var regs int32
+	lw := &lowerer{
+		d:        d,
+		plan:     plan,
+		ix:       ix,
+		initAsm:  ir.NewAsm(&regs),
+		stepAsm:  ir.NewAsm(&regs),
+		regCount: &regs,
+	}
+	lw.cur = lw.stepAsm
+
+	prog := &ir.Program{Name: d.Model.Name}
+	inLay := d.Model.InputLayout()
+	prog.In = inLay.Fields
+	prog.Out = d.Model.OutputLayout().Fields
+
+	if err := lw.lowerRoot(); err != nil {
+		return nil, err
+	}
+
+	lw.initAsm.Halt()
+	lw.stepAsm.Halt()
+	prog.Init = lw.initAsm.Instrs
+	prog.Step = lw.stepAsm.Instrs
+	prog.NumRegs = int(regs)
+	prog.NumState = lw.numState
+	prog.StateNames = lw.stateNames
+	prog.StateTypes = lw.stateTypes
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("codegen: internal error: %w", err)
+	}
+	return prog, nil
+}
+
+type lowerer struct {
+	d    *blocks.Design
+	plan *coverage.Plan
+	ix   *coverage.Index
+
+	initAsm  *ir.Asm
+	stepAsm  *ir.Asm
+	cur      *ir.Asm // current emit target (init during chart-entry lowering)
+	regCount *int32
+
+	numState   int
+	stateNames []string
+	stateTypes []model.DType
+}
+
+// allocState reserves a state slot and emits its initialization (a constant
+// of type dt with the given numeric initial value) into the init function.
+func (lw *lowerer) allocState(name string, dt model.DType, init float64) int {
+	slot := lw.numState
+	lw.numState++
+	lw.stateNames = append(lw.stateNames, name)
+	lw.stateTypes = append(lw.stateTypes, dt)
+	r := lw.initAsm.ConstVal(dt, init)
+	lw.initAsm.StoreState(slot, r)
+	return slot
+}
+
+// graphScope tracks per-graph-instance lowering state.
+type graphScope struct {
+	gi   *blocks.GraphInfo
+	vals map[model.PortRef]int32 // resolved output-port registers
+	// deferred update emitters (delay/integrator state writes), run at the
+	// end of this graph's body so they stay inside any conditional region.
+	deferred []func() error
+	// mergeSlots maps Merge blocks in this graph to their state slots.
+	mergeSlots map[*model.Block]int
+	mergeType  map[*model.Block]model.DType
+}
+
+// val returns the register holding the value feeding the given input port.
+func (gs *graphScope) val(id model.BlockID, port int) (int32, error) {
+	src, ok := gs.gi.Source[model.PortRef{Block: id, Port: port}]
+	if !ok {
+		return 0, fmt.Errorf("codegen: %s: block %s input %d unconnected",
+			gs.gi.Path, gs.gi.Graph.Block(id).Name, port)
+	}
+	r, ok := gs.vals[src]
+	if !ok {
+		return 0, fmt.Errorf("codegen: %s: value for %s not computed before use (schedule bug?)",
+			gs.gi.Path, gs.gi.Graph.Block(src.Block).Name)
+	}
+	return r, nil
+}
+
+// inVal returns the input register cast to the wanted type.
+func (lw *lowerer) inVal(gs *graphScope, id model.BlockID, port int, want model.DType) (int32, error) {
+	r, err := gs.val(id, port)
+	if err != nil {
+		return 0, err
+	}
+	have := gs.gi.InType(id, port)
+	return lw.cur.Cast(want, have, r), nil
+}
+
+func (lw *lowerer) lowerRoot() error {
+	gs := &graphScope{
+		gi:         lw.d.Root,
+		vals:       map[model.PortRef]int32{},
+		mergeSlots: map[*model.Block]int{},
+		mergeType:  map[*model.Block]model.DType{},
+	}
+	// Bind root inports to input fields.
+	fields := lw.d.Model.Inports()
+	for i, p := range fields {
+		dt := p.Params.DType("Type", model.Float64)
+		r := lw.cur.LoadIn(dt, i)
+		gs.vals[model.PortRef{Block: p.ID, Port: 0}] = r
+	}
+	if err := lw.lowerGraphBody(gs); err != nil {
+		return err
+	}
+	// Store root outports.
+	for i, p := range lw.d.Model.Outports() {
+		dt := p.Params.DType("Type", model.Float64)
+		r, err := lw.inVal(gs, p.ID, 0, dt)
+		if err != nil {
+			return err
+		}
+		lw.cur.StoreOut(i, r)
+	}
+	return nil
+}
+
+// lowerGraphBody lowers every block of a graph in schedule order, then runs
+// the deferred state updates.
+func (lw *lowerer) lowerGraphBody(gs *graphScope) error {
+	if err := lw.prepareMerges(gs); err != nil {
+		return err
+	}
+	for _, id := range gs.gi.Order {
+		b := gs.gi.Graph.Block(id)
+		if err := lw.lowerBlock(gs, b); err != nil {
+			return err
+		}
+	}
+	for _, fn := range gs.deferred {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareMerges allocates the state slot behind every Merge block and
+// validates that each merge input is fed by a conditionally-executed
+// subsystem output.
+func (lw *lowerer) prepareMerges(gs *graphScope) error {
+	for _, b := range gs.gi.Graph.BlocksOfKind("Merge") {
+		dt := gs.gi.OutType[model.PortRef{Block: b.ID, Port: 0}]
+		init := b.Params.Float("Init", 0)
+		slot := lw.allocState(gs.gi.Path+"/"+b.Name, dt, init)
+		gs.mergeSlots[b] = slot
+		gs.mergeType[b] = dt
+		for p := 0; p < gs.gi.InCount[b.ID]; p++ {
+			src := gs.gi.Source[model.PortRef{Block: b.ID, Port: p}]
+			drv := gs.gi.Graph.Block(src.Block)
+			if !blocks.IsConditional(drv.Kind) {
+				return fmt.Errorf("codegen: %s/%s: merge input %d must be driven by a conditionally executed subsystem, got %s",
+					gs.gi.Path, b.Name, p, drv.Path())
+			}
+		}
+	}
+	return nil
+}
+
+// probePair emits the instrumentation for a boolean decision: outcome 1 when
+// cond is true, outcome 0 otherwise (an if/else around CoverageStatistics(),
+// Figure 4 modes (a)-(c)).
+func (lw *lowerer) probePair(decID int, cond int32) {
+	a := lw.cur
+	j := a.JmpIfNot(cond)
+	a.Probe(decID, 1)
+	j2 := a.Jmp()
+	a.Patch(j)
+	a.Probe(decID, 0)
+	a.Patch(j2)
+}
+
+// probeIndex emits instrumentation for an n-way decision selected by a
+// 0-based int32 index register.
+func (lw *lowerer) probeIndex(decID int, idx int32, n int) {
+	a := lw.cur
+	var ends []int
+	for k := 0; k < n; k++ {
+		if k == n-1 {
+			a.Probe(decID, k)
+			break
+		}
+		kc := a.Const(model.Int32, model.EncodeInt(model.Int32, int64(k)))
+		eq := a.Bin(ir.OpEq, model.Int32, idx, kc)
+		j := a.JmpIfNot(eq)
+		a.Probe(decID, k)
+		ends = append(ends, a.Jmp())
+		a.Patch(j)
+	}
+	for _, e := range ends {
+		a.Patch(e)
+	}
+}
+
+// subsystemScope builds the inner graph scope of a subsystem, binding inner
+// Inports to the outer input registers (cast to any declared inner type).
+func (lw *lowerer) subsystemScope(gs *graphScope, b *model.Block) (*graphScope, error) {
+	child := gs.gi.Children[b.ID]
+	inner := &graphScope{
+		gi:         child,
+		vals:       map[model.PortRef]int32{},
+		mergeSlots: map[*model.Block]int{},
+		mergeType:  map[*model.Block]model.DType{},
+	}
+	ctrl := blocks.ControlPorts(b.Kind)
+	for _, ip := range child.Graph.BlocksOfKind("Inport") {
+		outerPort := int(ip.Params.Int("Index", 1)) - 1 + ctrl
+		want := child.OutType[model.PortRef{Block: ip.ID, Port: 0}]
+		r, err := lw.inVal(gs, b.ID, outerPort, want)
+		if err != nil {
+			return nil, err
+		}
+		inner.vals[model.PortRef{Block: ip.ID, Port: 0}] = r
+	}
+	return inner, nil
+}
+
+// subsystemOutputs reads the inner Outport values (cast to the subsystem's
+// resolved output types) after the inner body ran.
+func (lw *lowerer) subsystemOutputs(gs *graphScope, b *model.Block, inner *graphScope) ([]int32, error) {
+	child := inner.gi
+	nout := gs.gi.OutCount[b.ID]
+	outs := make([]int32, nout)
+	for _, op := range child.Graph.BlocksOfKind("Outport") {
+		idx := int(op.Params.Int("Index", 1)) - 1
+		want := gs.gi.OutType[model.PortRef{Block: b.ID, Port: idx}]
+		src, ok := child.Source[model.PortRef{Block: op.ID, Port: 0}]
+		if !ok {
+			return nil, fmt.Errorf("codegen: %s/%s: outport unconnected", child.Path, op.Name)
+		}
+		r, ok := inner.vals[src]
+		if !ok {
+			return nil, fmt.Errorf("codegen: %s/%s: outport driver not computed", child.Path, op.Name)
+		}
+		outs[idx] = lw.cur.Cast(want, child.OutType[src], r)
+	}
+	return outs, nil
+}
+
+// lowerConditionalBody emits: probe (optional), a guarded inner body whose
+// outputs latch into hold-state slots, and loads of those slots as the
+// subsystem's outputs. Used by Enabled/Triggered/Action subsystems.
+func (lw *lowerer) lowerConditionalBody(gs *graphScope, b *model.Block, cond int32) error {
+	child := gs.gi.Children[b.ID]
+	a := lw.cur
+
+	// Hold slots, one per output, initialized from inner Outport Init.
+	nout := gs.gi.OutCount[b.ID]
+	slots := make([]int, nout)
+	types := make([]model.DType, nout)
+	for _, op := range child.Graph.BlocksOfKind("Outport") {
+		idx := int(op.Params.Int("Index", 1)) - 1
+		dt := gs.gi.OutType[model.PortRef{Block: b.ID, Port: idx}]
+		slots[idx] = lw.allocState(fmt.Sprintf("%s/%s.hold%d", gs.gi.Path, b.Name, idx), dt, op.Params.Float("Init", 0))
+		types[idx] = dt
+	}
+
+	skip := a.JmpIfNot(cond)
+	inner, err := lw.subsystemScope(gs, b)
+	if err != nil {
+		return err
+	}
+	if err := lw.lowerGraphBody(inner); err != nil {
+		return err
+	}
+	outs, err := lw.subsystemOutputs(gs, b, inner)
+	if err != nil {
+		return err
+	}
+	for i, r := range outs {
+		a.StoreState(slots[i], r)
+	}
+	// Forward active outputs into any Merge blocks fed by this subsystem.
+	for i := range outs {
+		for _, dst := range gs.gi.Graph.FanOut(model.PortRef{Block: b.ID, Port: i}) {
+			mb := gs.gi.Graph.Block(dst.Block)
+			if mb.Kind == "Merge" {
+				cast := a.Cast(gs.mergeType[mb], types[i], outs[i])
+				a.StoreState(gs.mergeSlots[mb], cast)
+			}
+		}
+	}
+	a.Patch(skip)
+
+	// Outputs always read the hold slots (fresh when active, held when not).
+	for i := 0; i < nout; i++ {
+		gs.vals[model.PortRef{Block: b.ID, Port: i}] = a.LoadState(types[i], slots[i])
+	}
+	return nil
+}

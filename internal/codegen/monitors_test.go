@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+func TestDetectBlocks(t *testing.T) {
+	b := model.NewBuilder("Det")
+	x := b.Inport("x", model.Int32)
+	chg := b.Add("DetectChange", "chg", nil).From(x)
+	inc := b.Add("DetectIncrease", "inc", nil).From(x)
+	dec := b.Add("DetectDecrease", "dec", nil).From(x)
+	b.Outport("chgO", model.Bool, chg.Out(0))
+	b.Outport("incO", model.Bool, inc.Out(0))
+	b.Outport("decO", model.Bool, dec.Out(0))
+	step, _, _ := run(t, b.Model())
+
+	seq := []struct {
+		in            int64
+		chg, inc, dec uint64
+	}{
+		{0, 0, 0, 0}, // equals the Init=0 previous value
+		{5, 1, 1, 0}, // rose
+		{5, 0, 0, 0}, // steady
+		{2, 1, 0, 1}, // fell
+	}
+	for i, c := range seq {
+		out := step(i32(c.in))
+		if out[0] != c.chg || out[1] != c.inc || out[2] != c.dec {
+			t.Fatalf("step %d (in=%d): chg/inc/dec = %v/%v/%v, want %v/%v/%v",
+				i, c.in, out[0], out[1], out[2], c.chg, c.inc, c.dec)
+		}
+	}
+}
+
+func TestIntervalTest(t *testing.T) {
+	b := model.NewBuilder("IT")
+	x := b.Inport("x", model.Float64)
+	it := b.Add("IntervalTest", "band", model.Params{"Lo": -1.5, "Hi": 2.5}).From(x)
+	b.Outport("in", model.Bool, it.Out(0))
+	step, rec, _ := run(t, b.Model())
+	cases := []struct {
+		in   float64
+		want uint64
+	}{{-2, 0}, {-1.5, 1}, {0, 1}, {2.5, 1}, {2.6, 0}}
+	for _, c := range cases {
+		if got := step(f64(c.in))[0]; got != c.want {
+			t.Errorf("interval(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("both interval outcomes: %v", rep.Decision())
+	}
+}
+
+func TestBacklash(t *testing.T) {
+	b := model.NewBuilder("BL")
+	x := b.Inport("x", model.Float64)
+	bl := b.Add("Backlash", "play", model.Params{"Width": 2.0}).From(x)
+	b.Outport("y", model.Float64, bl.Out(0))
+	step, rec, _ := run(t, b.Model())
+	seq := []struct{ in, want float64 }{
+		{0.5, 0}, // inside the deadband around 0: hold
+		{3, 2},   // engage upward: y = 3 - 1
+		{2.5, 2}, // small reversal stays in the band
+		{-1, 0},  // engage downward: y = -1 + 1
+	}
+	for i, c := range seq {
+		if got := model.DecodeFloat(model.Float64, step(f64(c.in))[0]); got != c.want {
+			t.Fatalf("step %d backlash(%v) = %v, want %v", i, c.in, got, c.want)
+		}
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("all 3 backlash regions: %v (uncovered %v)", rep.Decision(), rep.UncoveredDecisions)
+	}
+}
+
+func TestWrapToZero(t *testing.T) {
+	b := model.NewBuilder("WZ")
+	x := b.Inport("x", model.Int32)
+	w := b.Add("WrapToZero", "wrap", model.Params{"Threshold": 100.0}).From(x)
+	b.Outport("y", model.Int32, w.Out(0))
+	step, _, _ := run(t, b.Model())
+	if got := model.DecodeInt(model.Int32, step(i32(55))[0]); got != 55 {
+		t.Errorf("pass-through: %d", got)
+	}
+	if got := model.DecodeInt(model.Int32, step(i32(101))[0]); got != 0 {
+		t.Errorf("wrap: %d", got)
+	}
+}
+
+func TestAssertionProbes(t *testing.T) {
+	b := model.NewBuilder("AS")
+	x := b.Inport("x", model.Int32)
+	cond := b.Rel("<", x, b.ConstT(model.Int32, 10))
+	b.Add("Assertion", "inv", nil).From(cond)
+	b.Outport("y", model.Int32, x)
+	step, rec, c := run(t, b.Model())
+	step(i32(5))
+	rep := rec.Report()
+	if rep.DecisionCovered != 1 {
+		t.Fatalf("assertion pass should cover one outcome: %d", rep.DecisionCovered)
+	}
+	step(i32(50))
+	rep = rec.Report()
+	if rep.DecisionCovered != 2 {
+		t.Fatalf("assertion violation should cover the second outcome: %d", rep.DecisionCovered)
+	}
+	// The violated branch is outcome 0 of the assertion decision.
+	found := false
+	for i := range c.Plan.Decisions {
+		d := &c.Plan.Decisions[i]
+		if d.Kind.String() == "Assertion" && rec.Total[d.OutcomeBase] != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("violation branch not recorded")
+	}
+}

@@ -1,0 +1,298 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/mlfunc"
+	"cftcg/internal/model"
+)
+
+// scriptVar is one mutable variable during script lowering: a dedicated
+// register plus its declared type.
+type scriptVar struct {
+	reg int32
+	dt  model.DType
+}
+
+// scriptEnv maps names to variables for mlfunc lowering. It is used for
+// MATLAB Function bodies, If-block conditions (u1..un), and chart
+// guards/actions.
+type scriptEnv struct {
+	vars map[string]*scriptVar
+}
+
+func newScriptEnv() *scriptEnv {
+	return &scriptEnv{vars: map[string]*scriptVar{}}
+}
+
+func (e *scriptEnv) bind(name string, reg int32, dt model.DType) {
+	e.vars[name] = &scriptVar{reg: reg, dt: dt}
+}
+
+func (e *scriptEnv) lookup(name string) (*scriptVar, error) {
+	v, ok := e.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("codegen: script references unknown variable %q", name)
+	}
+	return v, nil
+}
+
+// evalExpr lowers an expression to a register holding a value of e.Type().
+func (lw *lowerer) evalExpr(env *scriptEnv, e mlfunc.Expr) (int32, error) {
+	a := lw.cur
+	switch ex := e.(type) {
+	case *mlfunc.Lit:
+		return a.ConstVal(ex.T, ex.Val), nil
+
+	case *mlfunc.Ref:
+		v, err := env.lookup(ex.Name)
+		if err != nil {
+			return 0, err
+		}
+		return v.reg, nil
+
+	case *mlfunc.Unary:
+		switch ex.Op {
+		case "-":
+			x, err := lw.evalExpr(env, ex.X)
+			if err != nil {
+				return 0, err
+			}
+			x = a.Cast(ex.T, ex.X.Type(), x)
+			return a.Un(ir.OpNeg, ex.T, x), nil
+		case "!", "~":
+			b, err := lw.evalCond(env, ex.X)
+			if err != nil {
+				return 0, err
+			}
+			return a.Un(ir.OpNot, model.Bool, b), nil
+		}
+		return 0, fmt.Errorf("codegen: unknown unary op %q", ex.Op)
+
+	case *mlfunc.Binary:
+		if mlfunc.IsBoolOp(ex.Op) {
+			x, err := lw.evalCond(env, ex.X)
+			if err != nil {
+				return 0, err
+			}
+			y, err := lw.evalCond(env, ex.Y)
+			if err != nil {
+				return 0, err
+			}
+			op := ir.OpAnd
+			if ex.Op == "||" {
+				op = ir.OpOr
+			}
+			return a.Bin(op, model.Bool, x, y), nil
+		}
+		x, err := lw.evalExpr(env, ex.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := lw.evalExpr(env, ex.Y)
+		if err != nil {
+			return 0, err
+		}
+		if mlfunc.IsRelOp(ex.Op) {
+			t := mlfunc.Promote(ex.X.Type(), ex.Y.Type())
+			x = a.Cast(t, ex.X.Type(), x)
+			y = a.Cast(t, ex.Y.Type(), y)
+			return a.Bin(relOp(ex.Op), t, x, y), nil
+		}
+		t := ex.T
+		x = a.Cast(t, ex.X.Type(), x)
+		y = a.Cast(t, ex.Y.Type(), y)
+		return a.Bin(arithOp(ex.Op), t, x, y), nil
+
+	case *mlfunc.Call:
+		args := make([]int32, len(ex.Args))
+		for i, arg := range ex.Args {
+			r, err := lw.evalExpr(env, arg)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = a.Cast(ex.T, arg.Type(), r)
+		}
+		switch ex.Fn {
+		case "abs":
+			return a.Un(ir.OpAbs, ex.T, args[0]), nil
+		case "min":
+			return a.Bin(ir.OpMin, ex.T, args[0], args[1]), nil
+		case "max":
+			return a.Bin(ir.OpMax, ex.T, args[0], args[1]), nil
+		case "sat":
+			lo := a.Bin(ir.OpMax, ex.T, args[0], args[1])
+			return a.Bin(ir.OpMin, ex.T, lo, args[2]), nil
+		}
+		return 0, fmt.Errorf("codegen: unknown builtin %q", ex.Fn)
+	}
+	return 0, fmt.Errorf("codegen: unknown expression %T", e)
+}
+
+// evalCond lowers a decision expression to a normalized boolean register,
+// emitting a condition probe at every registered leaf. Logical operators
+// evaluate eagerly (operands are side-effect free), which keeps unique-cause
+// MCDC well defined.
+func (lw *lowerer) evalCond(env *scriptEnv, e mlfunc.Expr) (int32, error) {
+	a := lw.cur
+	switch ex := e.(type) {
+	case *mlfunc.Binary:
+		if mlfunc.IsBoolOp(ex.Op) {
+			x, err := lw.evalCond(env, ex.X)
+			if err != nil {
+				return 0, err
+			}
+			y, err := lw.evalCond(env, ex.Y)
+			if err != nil {
+				return 0, err
+			}
+			op := ir.OpAnd
+			if ex.Op == "||" {
+				op = ir.OpOr
+			}
+			return a.Bin(op, model.Bool, x, y), nil
+		}
+	case *mlfunc.Unary:
+		if ex.Op == "!" || ex.Op == "~" {
+			b, err := lw.evalCond(env, ex.X)
+			if err != nil {
+				return 0, err
+			}
+			return a.Un(ir.OpNot, model.Bool, b), nil
+		}
+	}
+	// Leaf condition: evaluate, normalize to bool, probe if registered.
+	v, err := lw.evalExpr(env, e)
+	if err != nil {
+		return 0, err
+	}
+	b := a.Truth(e.Type(), v)
+	if condID, ok := lw.ix.ExprCond[e]; ok {
+		a.CondProbe(condID, b)
+	}
+	return b, nil
+}
+
+// execStmts lowers a statement list within the environment.
+func (lw *lowerer) execStmts(env *scriptEnv, stmts []mlfunc.Stmt) error {
+	a := lw.cur
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *mlfunc.Assign:
+			v, err := env.lookup(st.Name)
+			if err != nil {
+				return err
+			}
+			r, err := lw.evalExpr(env, st.Rhs)
+			if err != nil {
+				return err
+			}
+			a.MovTo(v.reg, a.Cast(v.dt, st.Rhs.Type(), r))
+
+		case *mlfunc.If:
+			c, err := lw.evalCond(env, st.Cond)
+			if err != nil {
+				return err
+			}
+			if decID, ok := lw.ix.StmtDecision[st]; ok {
+				lw.probePair(decID, c)
+			}
+			j := a.JmpIfNot(c)
+			if err := lw.execStmts(env, st.Then); err != nil {
+				return err
+			}
+			if len(st.Else) > 0 {
+				j2 := a.Jmp()
+				a.Patch(j)
+				if err := lw.execStmts(env, st.Else); err != nil {
+					return err
+				}
+				a.Patch(j2)
+			} else {
+				a.Patch(j)
+			}
+
+		case *mlfunc.While:
+			// Real loop with a backward jump, capped at MaxWhileIter so
+			// the generated step function always terminates. The layout:
+			//
+			//	    n = 0
+			//	L0: c = cond; probe(c); if !c goto L1
+			//	    body
+			//	    n = n + 1
+			//	    if n < cap goto L0
+			//	L1:
+			counter := a.Reg()
+			a.ConstTo(counter, model.Int32, 0)
+			start := a.PC()
+			c, err := lw.evalCond(env, st.Cond)
+			if err != nil {
+				return err
+			}
+			if decID, ok := lw.ix.StmtDecision2[st]; ok {
+				lw.probePair(decID, c)
+			}
+			jExit := a.JmpIfNot(c)
+			if err := lw.execStmts(env, st.Body); err != nil {
+				return err
+			}
+			one := a.Const(model.Int32, model.EncodeInt(model.Int32, 1))
+			next := a.Bin(ir.OpAdd, model.Int32, counter, one)
+			a.MovTo(counter, next)
+			capc := a.Const(model.Int32, model.EncodeInt(model.Int32, mlfunc.MaxWhileIter))
+			again := a.Bin(ir.OpLt, model.Int32, counter, capc)
+			a.Emit(ir.Instr{Op: ir.OpJmpIf, A: again, Imm: uint64(start)})
+			a.Patch(jExit)
+
+		case *mlfunc.For:
+			// Constant-bound loops unroll, matching "Maximize Execution
+			// Speed" code generation.
+			reg := a.Reg()
+			env.bind(st.Var, reg, model.Int32)
+			for i := int64(0); i < st.Count; i++ {
+				a.ConstTo(reg, model.Int32, model.EncodeInt(model.Int32, i))
+				if err := lw.execStmts(env, st.Body); err != nil {
+					return err
+				}
+			}
+			delete(env.vars, st.Var)
+
+		default:
+			return fmt.Errorf("codegen: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func relOp(op string) ir.Op {
+	switch op {
+	case "==":
+		return ir.OpEq
+	case "~=", "!=":
+		return ir.OpNe
+	case "<":
+		return ir.OpLt
+	case "<=":
+		return ir.OpLe
+	case ">":
+		return ir.OpGt
+	case ">=":
+		return ir.OpGe
+	}
+	panic("codegen: not a relational operator: " + op)
+}
+
+func arithOp(op string) ir.Op {
+	switch op {
+	case "+":
+		return ir.OpAdd
+	case "-":
+		return ir.OpSub
+	case "*":
+		return ir.OpMul
+	case "/":
+		return ir.OpDiv
+	}
+	panic("codegen: not an arithmetic operator: " + op)
+}

@@ -1,0 +1,400 @@
+package codegen
+
+import (
+	"testing"
+
+	"cftcg/internal/coverage"
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+	"cftcg/internal/vm"
+)
+
+// run compiles a model and returns a stepper: feed raw inputs, get raw
+// outputs.
+func run(t *testing.T, m *model.Model) (step func(...uint64) []uint64, rec *coverage.Recorder, c *Compiled) {
+	t.Helper()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rec = coverage.NewRecorder(c.Plan)
+	machine := vm.New(c.Prog, rec)
+	machine.Init()
+	return func(in ...uint64) []uint64 {
+		rec.BeginStep()
+		machine.Step(in)
+		return machine.Out()
+	}, rec, c
+}
+
+func f64(v float64) uint64 { return model.EncodeFloat(model.Float64, v) }
+func i32(v int64) uint64   { return model.EncodeInt(model.Int32, v) }
+
+func TestCounterWraps(t *testing.T) {
+	b := model.NewBuilder("C")
+	cnt := b.Add("Counter", "c", model.Params{"Init": 1.0, "Max": 3.0, "Inc": 1.0, "Type": model.Int32})
+	b.Outport("o", model.Int32, cnt.Out(0))
+	step, _, _ := run(t, b.Model())
+	want := []int64{1, 2, 3, 1, 2, 3, 1}
+	for i, w := range want {
+		if got := model.DecodeInt(model.Int32, step()[0]); got != w {
+			t.Fatalf("step %d: %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	b := model.NewBuilder("Clk")
+	clk := b.Add("Clock", "clk", nil)
+	b.Outport("t", model.Float64, clk.Out(0))
+	m := b.Model()
+	m.SampleTime = 0.5
+	step, _, _ := run(t, m)
+	for i := 0; i < 4; i++ {
+		if got := model.DecodeFloat(model.Float64, step()[0]); got != float64(i)*0.5 {
+			t.Fatalf("step %d: t=%v", i, got)
+		}
+	}
+}
+
+func TestLookup1DRegions(t *testing.T) {
+	b := model.NewBuilder("L")
+	x := b.Inport("x", model.Float64)
+	lk := b.Add("Lookup1D", "map", model.Params{
+		"Breakpoints": []float64{0, 10, 20},
+		"Table":       []float64{100, 200, 400},
+	}).From(x)
+	b.Outport("y", model.Float64, lk.Out(0))
+	step, rec, _ := run(t, b.Model())
+
+	cases := []struct{ in, want float64 }{
+		{-5, 100},  // clamp low
+		{0, 100},   // left edge of first interval
+		{5, 150},   // interpolation in [0,10)
+		{15, 300},  // interpolation in [10,20)
+		{20, 400},  // clamp high boundary
+		{999, 400}, // clamp high
+	}
+	for _, c := range cases {
+		if got := model.DecodeFloat(model.Float64, step(f64(c.in))[0]); got != c.want {
+			t.Errorf("lookup(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("all 4 lookup regions visited, coverage %v", rep.Decision())
+	}
+}
+
+func TestMultiportSwitchClamps(t *testing.T) {
+	b := model.NewBuilder("MS")
+	idx := b.Inport("idx", model.Int32)
+	sw := b.Add("MultiportSwitch", "sw", model.Params{"Inputs": 3})
+	b.Connect(idx, sw.In(0))
+	b.Connect(b.ConstT(model.Int32, 10), sw.In(1))
+	b.Connect(b.ConstT(model.Int32, 20), sw.In(2))
+	b.Connect(b.ConstT(model.Int32, 30), sw.In(3))
+	b.Outport("o", model.Int32, sw.Out(0))
+	step, _, _ := run(t, b.Model())
+
+	cases := []struct{ in, want int64 }{
+		{1, 10}, {2, 20}, {3, 30},
+		{0, 10},  // clamp below
+		{-5, 10}, // clamp below
+		{99, 30}, // clamp above
+	}
+	for _, c := range cases {
+		if got := model.DecodeInt(model.Int32, step(i32(c.in))[0]); got != c.want {
+			t.Errorf("select(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDeadZoneRegions(t *testing.T) {
+	b := model.NewBuilder("DZ")
+	x := b.Inport("x", model.Float64)
+	dz := b.Add("DeadZone", "dz", model.Params{"Start": -2.0, "End": 3.0}).From(x)
+	b.Outport("y", model.Float64, dz.Out(0))
+	step, _, _ := run(t, b.Model())
+	cases := []struct{ in, want float64 }{
+		{-5, -3}, {-2, 0}, {0, 0}, {3, 0}, {7, 4},
+	}
+	for _, c := range cases {
+		if got := model.DecodeFloat(model.Float64, step(f64(c.in))[0]); got != c.want {
+			t.Errorf("deadzone(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRelayHysteresis(t *testing.T) {
+	b := model.NewBuilder("R")
+	x := b.Inport("x", model.Float64)
+	r := b.Add("Relay", "r", model.Params{
+		"OnPoint": 10.0, "OffPoint": 5.0, "OnValue": 1.0, "OffValue": 0.0,
+	}).From(x)
+	b.Outport("y", model.Float64, r.Out(0))
+	step, _, _ := run(t, b.Model())
+	seq := []struct{ in, want float64 }{
+		{7, 0},  // below on-point, starts off
+		{10, 1}, // switches on at the on-point
+		{7, 1},  // hysteresis: stays on above off-point
+		{5, 0},  // at or below off-point: off
+		{9, 0},  // stays off until on-point
+	}
+	for i, c := range seq {
+		if got := model.DecodeFloat(model.Float64, step(f64(c.in))[0]); got != c.want {
+			t.Fatalf("step %d relay(%v) = %v, want %v", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	b := model.NewBuilder("RL")
+	x := b.Inport("x", model.Float64)
+	rl := b.Add("RateLimiter", "rl", model.Params{"Rising": 2.0, "Falling": -1.0}).From(x)
+	b.Outport("y", model.Float64, rl.Out(0))
+	step, _, _ := run(t, b.Model())
+	seq := []struct{ in, want float64 }{
+		{10, 2},    // limited rise from 0
+		{10, 4},    // keeps climbing by 2
+		{4.5, 4.5}, // within limits
+		{0, 3.5},   // limited fall
+	}
+	for i, c := range seq {
+		if got := model.DecodeFloat(model.Float64, step(f64(c.in))[0]); got != c.want {
+			t.Fatalf("step %d: %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSignOutcomes(t *testing.T) {
+	b := model.NewBuilder("S")
+	x := b.Inport("x", model.Float64)
+	s := b.Add("Sign", "s", nil).From(x)
+	b.Outport("y", model.Float64, s.Out(0))
+	step, rec, _ := run(t, b.Model())
+	if got := model.DecodeFloat(model.Float64, step(f64(-7))[0]); got != -1 {
+		t.Errorf("sign(-7) = %v", got)
+	}
+	if got := model.DecodeFloat(model.Float64, step(f64(0))[0]); got != 0 {
+		t.Errorf("sign(0) = %v", got)
+	}
+	if got := model.DecodeFloat(model.Float64, step(f64(4))[0]); got != 1 {
+		t.Errorf("sign(4) = %v", got)
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("all 3 sign outcomes visited: %v", rep.Decision())
+	}
+}
+
+func TestIfActionMergeCascade(t *testing.T) {
+	b := model.NewBuilder("IAM")
+	x := b.Inport("x", model.Int32)
+	ifb := b.If("sel", []string{"u1 > 10", "u1 < -10"}, x)
+	merge := b.Add("Merge", "m", model.Params{"Inputs": 3, "Init": 0.0, "Type": model.Int32})
+
+	_, hot := b.ActionSubsystem("Hot", ifb.Out(0))
+	hi := hot.Inport("v", model.Int32)
+	hot.Outport("o", model.Int32, hot.Gain(hi, 2)).Block().Params["Init"] = 0.0
+
+	_, cold := b.ActionSubsystem("Cold", ifb.Out(1))
+	ci := cold.Inport("v", model.Int32)
+	cold.Outport("o", model.Int32, cold.Gain(ci, -1)).Block().Params["Init"] = 0.0
+
+	_, mid := b.ActionSubsystem("Mid", ifb.Out(2))
+	mi := mid.Inport("v", model.Int32)
+	mid.Outport("o", model.Int32, mid.Gain(mi, 0)).Block().Params["Init"] = 0.0
+
+	for i, name := range []string{"Hot", "Cold", "Mid"} {
+		blk := b.Graph().BlockByName(name)
+		b.Connect(x, model.PortRef{Block: blk.ID, Port: 1})
+		b.Connect(model.PortRef{Block: blk.ID, Port: 0}, merge.In(i))
+	}
+	b.Outport("o", model.Int32, merge.Out(0))
+	step, _, _ := run(t, b.Model())
+
+	cases := []struct{ in, want int64 }{
+		{20, 40},  // hot branch doubles
+		{-20, 20}, // cold branch negates
+		{5, 0},    // mid branch zeroes
+		{15, 30},  // hot again
+	}
+	for i, c := range cases {
+		if got := model.DecodeInt(model.Int32, step(i32(c.in))[0]); got != c.want {
+			t.Fatalf("step %d in=%d: %d, want %d", i, c.in, got, c.want)
+		}
+	}
+}
+
+func TestTriggeredSubsystemRisingEdge(t *testing.T) {
+	b2 := model.NewBuilder("TR")
+	trig := b2.Inport("t", model.Int8)
+	val := b2.Inport("v", model.Int32)
+	ht := b2.Add("TriggeredSubsystem", "snap", nil)
+	sub2 := model.NewBuilder("snapInner")
+	inner := sub2.Inport("x", model.Int32)
+	sub2.Outport("y", model.Int32, sub2.Gain(inner, 1)).Block().Params["Init"] = -1.0
+	ht.Block().Sub = sub2.Graph()
+	b2.Connect(trig, ht.In(0))
+	b2.Connect(val, ht.In(1))
+	b2.Outport("o", model.Int32, ht.Out(0))
+	step, _, _ := run(t, b2.Model())
+
+	seq := []struct {
+		trig, val, want int64
+	}{
+		{0, 11, -1}, // not triggered: initial hold value
+		{1, 22, 22}, // rising edge: sample
+		{1, 33, 22}, // still high: no edge, hold
+		{0, 44, 22}, // low: hold
+		{1, 55, 55}, // new edge: sample
+	}
+	for i, c := range seq {
+		got := model.DecodeInt(model.Int32, step(model.EncodeInt(model.Int8, c.trig), i32(c.val))[0])
+		if got != c.want {
+			t.Fatalf("step %d: %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestDiscreteIntegratorSaturates(t *testing.T) {
+	b := model.NewBuilder("DI")
+	x := b.Inport("x", model.Float64)
+	di := b.Add("DiscreteIntegrator", "di", model.Params{
+		"K": 1.0, "Init": 0.0, "Lower": -2.0, "Upper": 2.0,
+	}).From(x)
+	b.Outport("y", model.Float64, di.Out(0))
+	m := b.Model()
+	m.SampleTime = 1
+	step, rec, _ := run(t, m)
+	// Output is the pre-update state (non-feedthrough).
+	vals := []float64{0, 1, 2, 2} // input 1 each step, saturating at 2
+	for i, w := range vals {
+		if got := model.DecodeFloat(model.Float64, step(f64(1))[0]); got != w {
+			t.Fatalf("step %d: %v, want %v", i, got, w)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		step(f64(-1))
+	}
+	if got := model.DecodeFloat(model.Float64, step(f64(0))[0]); got != -2 {
+		t.Errorf("lower saturation: %v, want -2", got)
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("integrator saturation outcomes: %v", rep.Decision())
+	}
+}
+
+func TestDelayNSteps(t *testing.T) {
+	b := model.NewBuilder("DLY")
+	x := b.Inport("x", model.Int32)
+	d := b.Add("Delay", "d", model.Params{"Steps": 3, "Init": -1.0}).From(x)
+	b.Outport("y", model.Int32, d.Out(0))
+	step, _, _ := run(t, b.Model())
+	ins := []int64{10, 20, 30, 40, 50}
+	want := []int64{-1, -1, -1, 10, 20}
+	for i := range ins {
+		if got := model.DecodeInt(model.Int32, step(i32(ins[i]))[0]); got != want[i] {
+			t.Fatalf("step %d: %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestChartExitAndTransitionActions(t *testing.T) {
+	chart := &stateflow.Chart{
+		Name:    "acts",
+		Inputs:  []stateflow.Var{{Name: "go_", Type: model.Bool}},
+		Outputs: []stateflow.Var{{Name: "trace", Type: model.Int32, Init: 0}},
+		States: []*stateflow.State{
+			{Name: "A", Exit: "trace = trace + 1;"},    // +1 on exit
+			{Name: "B", Entry: "trace = trace + 100;"}, // +100 on entry
+		},
+		Transitions: []*stateflow.Transition{
+			{From: "A", To: "B", Guard: "go_", Action: "trace = trace + 10;"},
+		},
+		Initial: "A",
+	}
+	b := model.NewBuilder("CA")
+	g := b.Inport("g", model.Bool)
+	ch := b.Chart("c", chart, g)
+	b.Outport("t", model.Int32, ch.Out(0))
+	step, _, _ := run(t, b.Model())
+
+	if got := model.DecodeInt(model.Int32, step(0)[0]); got != 0 {
+		t.Fatalf("no transition: trace %d", got)
+	}
+	// Fire: exit(+1) then action(+10) then entry(+100) = 111.
+	if got := model.DecodeInt(model.Int32, step(1)[0]); got != 111 {
+		t.Fatalf("transition ordering: trace %d, want 111", got)
+	}
+}
+
+func TestScriptForLoopUnrolls(t *testing.T) {
+	b := model.NewBuilder("FOR")
+	x := b.Inport("x", model.Int32)
+	ml := b.Matlab("f", `
+input  int32 x;
+output int32 y = 0;
+for i = 5 { y = y + x + i; }
+`, x)
+	b.Outport("y", model.Int32, ml.Out(0))
+	step, _, _ := run(t, b.Model())
+	// 5x + (0+1+2+3+4) = 5x + 10.
+	if got := model.DecodeInt(model.Int32, step(i32(3))[0]); got != 25 {
+		t.Errorf("loop result %d, want 25", got)
+	}
+}
+
+func TestProductDivide(t *testing.T) {
+	b := model.NewBuilder("PD")
+	x := b.Inport("x", model.Float64)
+	y := b.Inport("y", model.Float64)
+	b.Outport("q", model.Float64, b.Div(x, y))
+	step, _, _ := run(t, b.Model())
+	if got := model.DecodeFloat(model.Float64, step(f64(7), f64(2))[0]); got != 3.5 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := model.DecodeFloat(model.Float64, step(f64(7), f64(0))[0]); got != 0 {
+		t.Errorf("7/0 must be 0 (total), got %v", got)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	b := model.NewBuilder("BW")
+	x := b.Inport("x", model.UInt8)
+	y := b.Inport("y", model.UInt8)
+	and := b.Add("Bitwise", "and", model.Params{"Op": "AND"}).From(x, y)
+	xor := b.Add("Bitwise", "xor", model.Params{"Op": "XOR"}).From(x, y)
+	b.Outport("a", model.UInt8, and.Out(0))
+	b.Outport("x2", model.UInt8, xor.Out(0))
+	step, _, _ := run(t, b.Model())
+	out := step(model.EncodeInt(model.UInt8, 0b1100), model.EncodeInt(model.UInt8, 0b1010))
+	if model.DecodeInt(model.UInt8, out[0]) != 0b1000 {
+		t.Errorf("and: %b", model.DecodeInt(model.UInt8, out[0]))
+	}
+	if model.DecodeInt(model.UInt8, out[1]) != 0b0110 {
+		t.Errorf("xor: %b", model.DecodeInt(model.UInt8, out[1]))
+	}
+}
+
+func TestSwitchCaseDefault(t *testing.T) {
+	b := model.NewBuilder("SC")
+	x := b.Inport("x", model.Int32)
+	sc := b.Add("SwitchCase", "sc", model.Params{"Cases": []int64{1, 5}})
+	b.Connect(x, sc.In(0))
+	b.Outport("c1", model.Bool, sc.Out(0))
+	b.Outport("c5", model.Bool, sc.Out(1))
+	b.Outport("dfl", model.Bool, sc.Out(2))
+	step, rec, _ := run(t, b.Model())
+	if out := step(i32(1)); out[0] != 1 || out[1] != 0 || out[2] != 0 {
+		t.Errorf("case 1: %v", out)
+	}
+	if out := step(i32(5)); out[0] != 0 || out[1] != 1 || out[2] != 0 {
+		t.Errorf("case 5: %v", out)
+	}
+	if out := step(i32(7)); out[0] != 0 || out[1] != 0 || out[2] != 1 {
+		t.Errorf("default: %v", out)
+	}
+	if rep := rec.Report(); rep.Decision() != 100 {
+		t.Errorf("all 3 case outcomes: %v", rep.Decision())
+	}
+}

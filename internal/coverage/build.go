@@ -1,0 +1,234 @@
+package coverage
+
+import (
+	"fmt"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/mlfunc"
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+// Index maps model entities to their plan IDs. The code generator and the
+// interpreter both consult it so that the compiled program and the
+// simulation engine report coverage in the identical ID space — the property
+// the paper's differential validation relies on.
+type Index struct {
+	// BlockDecisions lists the decision IDs owned by a block, in a fixed
+	// per-kind order (e.g. an If block owns one decision per condition).
+	BlockDecisions map[*model.Block][]int
+	// BlockConds lists the condition IDs of a logic block, one per input.
+	BlockConds map[*model.Block][]int
+	// StmtDecision maps a script `if` statement to its decision.
+	StmtDecision map[*mlfunc.If]int
+	// StmtDecision2 maps a script `while` statement to its decision.
+	StmtDecision2 map[*mlfunc.While]int
+	// ExprCond maps a leaf condition expression (inside script ifs, If
+	// block conditions, or chart guards) to its condition ID.
+	ExprCond map[mlfunc.Expr]int
+	// TransDecision maps a chart transition to its decision.
+	TransDecision map[*stateflow.Transition]int
+}
+
+// Build walks the analyzed design and produces the instrumentation plan plus
+// the entity index. Walk order is deterministic (block ID order, recursing
+// into subsystems immediately), so plans are stable across runs.
+func Build(d *blocks.Design) (*Plan, *Index, error) {
+	p := &Plan{ModelName: d.Model.Name}
+	ix := &Index{
+		BlockDecisions: map[*model.Block][]int{},
+		BlockConds:     map[*model.Block][]int{},
+		StmtDecision:   map[*mlfunc.If]int{},
+		StmtDecision2:  map[*mlfunc.While]int{},
+		ExprCond:       map[mlfunc.Expr]int{},
+		TransDecision:  map[*stateflow.Transition]int{},
+	}
+	b := &planBuilder{plan: p, ix: ix, design: d}
+	if err := b.graph(d.Root); err != nil {
+		return nil, nil, err
+	}
+	return p, ix, nil
+}
+
+type planBuilder struct {
+	plan   *Plan
+	ix     *Index
+	design *blocks.Design
+}
+
+func (pb *planBuilder) graph(gi *blocks.GraphInfo) error {
+	for _, b := range gi.Graph.Blocks {
+		if err := pb.block(gi, b); err != nil {
+			return err
+		}
+		if child, ok := gi.Children[b.ID]; ok {
+			if err := pb.graph(child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (pb *planBuilder) block(gi *blocks.GraphInfo, b *model.Block) error {
+	label := gi.Path + "/" + b.Name
+	add := func(id int) { pb.ix.BlockDecisions[b] = append(pb.ix.BlockDecisions[b], id) }
+
+	switch b.Kind {
+	case "LogicalOperator":
+		// Mode (a): the block output is a decision; every input is a
+		// condition checked for both polarities.
+		d := pb.plan.newDecision(label, KindLogic, 2, true)
+		add(d.ID)
+		n := gi.InCount[b.ID]
+		for i := 0; i < n; i++ {
+			c := pb.plan.newCond(d.ID, fmt.Sprintf("%s in%d", label, i+1))
+			pb.ix.BlockConds[b] = append(pb.ix.BlockConds[b], c.ID)
+		}
+
+	case "Switch":
+		// Mode (b): two-way data selection.
+		add(pb.plan.newDecision(label, KindSwitch, 2, true).ID)
+
+	case "MultiportSwitch":
+		n := int(b.Params.Int("Inputs", 2))
+		add(pb.plan.newDecision(label, KindMultiportSwitch, n, false).ID)
+
+	case "MinMax":
+		n := int(b.Params.Int("Inputs", 2))
+		if n > 1 {
+			add(pb.plan.newDecision(label, KindMinMax, n, false).ID)
+		}
+
+	case "If":
+		// Mode (c): an if/elseif/else cascade — one boolean decision per
+		// condition expression, with the expression's leaves as conditions.
+		exprs := pb.design.IfConds[b]
+		for i, e := range exprs {
+			d := pb.plan.newDecision(fmt.Sprintf("%s cond%d", label, i+1), KindIf, 2, true)
+			add(d.ID)
+			pb.conditions(d.ID, fmt.Sprintf("%s cond%d", label, i+1), e)
+		}
+
+	case "SwitchCase":
+		cases := b.Params.Ints("Cases", nil)
+		add(pb.plan.newDecision(label, KindSwitchCase, len(cases)+1, false).ID)
+
+	case "EnabledSubsystem":
+		add(pb.plan.newDecision(label+" enable", KindEnable, 2, true).ID)
+
+	case "TriggeredSubsystem":
+		add(pb.plan.newDecision(label+" trigger", KindTrigger, 2, true).ID)
+
+	case "Saturation":
+		// Mode (d): below lower limit / in range / above upper limit.
+		add(pb.plan.newDecision(label, KindSaturation, 3, false).ID)
+
+	case "DeadZone":
+		add(pb.plan.newDecision(label, KindDeadZone, 3, false).ID)
+
+	case "RateLimiter":
+		add(pb.plan.newDecision(label, KindRateLimiter, 3, false).ID)
+
+	case "Relay":
+		add(pb.plan.newDecision(label, KindRelay, 2, true).ID)
+
+	case "Abs":
+		add(pb.plan.newDecision(label, KindAbs, 2, true).ID)
+
+	case "Sign":
+		add(pb.plan.newDecision(label, KindSign, 3, false).ID)
+
+	case "Lookup1D":
+		bp := b.Params.Floats("Breakpoints", nil)
+		if len(bp) < 2 {
+			return fmt.Errorf("coverage: %s: Lookup1D needs >= 2 breakpoints", label)
+		}
+		add(pb.plan.newDecision(label, KindLookup, len(bp)+1, false).ID)
+
+	case "DiscreteIntegrator":
+		if _, hasLo := b.Params["Lower"]; hasLo {
+			add(pb.plan.newDecision(label, KindIntegratorSat, 3, false).ID)
+		}
+
+	case "DetectChange", "DetectIncrease", "DetectDecrease":
+		add(pb.plan.newDecision(label, KindDetect, 2, true).ID)
+
+	case "IntervalTest":
+		add(pb.plan.newDecision(label, KindIntervalTest, 2, true).ID)
+
+	case "Backlash":
+		add(pb.plan.newDecision(label, KindBacklash, 3, false).ID)
+
+	case "WrapToZero":
+		add(pb.plan.newDecision(label, KindWrap, 2, true).ID)
+
+	case "Assertion":
+		add(pb.plan.newDecision(label, KindAssertion, 2, true).ID)
+
+	case "MatlabFunction":
+		f := pb.design.Funcs[b]
+		pb.stmts(label, f.Body)
+
+	case "Chart":
+		ci := pb.design.Charts[b]
+		pb.chart(label, ci)
+	}
+	return nil
+}
+
+// conditions registers the leaf conditions of a decision expression.
+func (pb *planBuilder) conditions(decID int, label string, e mlfunc.Expr) {
+	for i, leaf := range mlfunc.Conditions(e) {
+		c := pb.plan.newCond(decID, fmt.Sprintf("%s c%d<%s>", label, i+1, mlfunc.ExprString(leaf)))
+		pb.ix.ExprCond[leaf] = c.ID
+	}
+}
+
+// stmts registers every `if` in a script statement list as a decision.
+func (pb *planBuilder) stmts(label string, body []mlfunc.Stmt) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *mlfunc.If:
+			d := pb.plan.newDecision(fmt.Sprintf("%s if@%d", label, st.Line), KindScriptIf, 2, true)
+			pb.ix.StmtDecision[st] = d.ID
+			pb.conditions(d.ID, fmt.Sprintf("%s if@%d", label, st.Line), st.Cond)
+			pb.stmts(label, st.Then)
+			pb.stmts(label, st.Else)
+		case *mlfunc.While:
+			d := pb.plan.newDecision(fmt.Sprintf("%s while@%d", label, st.Line), KindScriptIf, 2, true)
+			pb.ix.StmtDecision2[st] = d.ID
+			pb.conditions(d.ID, fmt.Sprintf("%s while@%d", label, st.Line), st.Cond)
+			pb.stmts(label, st.Body)
+		case *mlfunc.For:
+			pb.stmts(label, st.Body)
+		}
+	}
+}
+
+// chart registers every transition as a decision (guard leaves as its
+// conditions) and walks all state/transition actions for nested ifs.
+func (pb *planBuilder) chart(label string, ci *blocks.ChartInfo) {
+	c := ci.Chart
+	for _, t := range c.Transitions {
+		d := pb.plan.newDecision(fmt.Sprintf("%s %s", label, t.Label()), KindTransition, 2, true)
+		pb.ix.TransDecision[t] = d.ID
+		if g := ci.Guards[t]; g != nil {
+			pb.conditions(d.ID, fmt.Sprintf("%s %s", label, t.Label()), g)
+		}
+		if acts := ci.TransActs[t]; acts != nil {
+			pb.stmts(fmt.Sprintf("%s %s action", label, t.Label()), acts)
+		}
+	}
+	for _, s := range c.States {
+		if a := ci.Entry[s]; a != nil {
+			pb.stmts(fmt.Sprintf("%s %s.entry", label, s.Name), a)
+		}
+		if a := ci.During[s]; a != nil {
+			pb.stmts(fmt.Sprintf("%s %s.during", label, s.Name), a)
+		}
+		if a := ci.Exit[s]; a != nil {
+			pb.stmts(fmt.Sprintf("%s %s.exit", label, s.Name), a)
+		}
+	}
+}

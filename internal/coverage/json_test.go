@@ -1,0 +1,37 @@
+package coverage
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportJSON(t *testing.T) {
+	rep := Report{
+		ModelName:       "M",
+		DecisionCovered: 3, DecisionTotal: 4,
+		CondCovered: 2, CondTotal: 2,
+		MCDCCovered: 1, MCDCTotal: 2,
+		UncoveredDecisions: []string{"M/Switch1"},
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"model":"M"`, `"percent":75`, `"covered":3`, `"total":4`,
+		`"uncoveredDecisions":["M/Switch1"]`, `"mcdc"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q:\n%s", want, s)
+		}
+	}
+	var round map[string]any
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if round["condition"].(map[string]any)["percent"].(float64) != 100 {
+		t.Error("condition percent wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package coverage
+
+import "time"
+
+// TimePoint is one sample of a coverage-versus-time curve — the unit of the
+// paper's Figure 7. All three tools (CFTCG, SLDV, SimCoTest) emit the same
+// sample type so the harness can plot them together.
+type TimePoint struct {
+	Elapsed   time.Duration
+	Execs     int64
+	Decision  float64
+	Condition float64
+	Branches  int
+}
+
+// Progress incrementally tracks campaign coverage percentages so timeline
+// sampling stays cheap (no MCDC pairing per sample).
+type Progress struct {
+	Seen []uint8
+
+	isOutcome       []bool
+	covOut, covCond int
+	totOut, totCond int
+}
+
+// NewProgress creates a progress tracker for a plan.
+func NewProgress(p *Plan) *Progress {
+	pr := &Progress{
+		Seen:      make([]uint8, p.NumBranches),
+		isOutcome: make([]bool, p.NumBranches),
+	}
+	for i := range p.Decisions {
+		d := &p.Decisions[i]
+		pr.totOut += d.NumOutcomes
+		for k := 0; k < d.NumOutcomes; k++ {
+			pr.isOutcome[d.OutcomeBase+k] = true
+		}
+	}
+	pr.totCond = 2 * len(p.Conds)
+	return pr
+}
+
+// Absorb folds one iteration's coverage into the campaign view, returning
+// how many branch slots were newly covered.
+func (pr *Progress) Absorb(curr []uint8) int {
+	n := 0
+	for b, v := range curr {
+		if v != 0 && pr.Seen[b] == 0 {
+			pr.Seen[b] = 1
+			n++
+			if pr.isOutcome[b] {
+				pr.covOut++
+			} else {
+				pr.covCond++
+			}
+		}
+	}
+	return n
+}
+
+// Decision returns the current Decision Coverage percentage.
+func (pr *Progress) Decision() float64 {
+	if pr.totOut == 0 {
+		return 100
+	}
+	return 100 * float64(pr.covOut) / float64(pr.totOut)
+}
+
+// Condition returns the current Condition Coverage percentage.
+func (pr *Progress) Condition() float64 {
+	if pr.totCond == 0 {
+		return 100
+	}
+	return 100 * float64(pr.covCond) / float64(pr.totCond)
+}
+
+// Covered returns the number of branch slots covered so far.
+func (pr *Progress) Covered() int { return pr.covOut + pr.covCond }

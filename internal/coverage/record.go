@@ -1,0 +1,140 @@
+package coverage
+
+// Recorder accumulates coverage during execution. It is shared by the fast
+// VM (compiled fuzz code) and the interpretive simulator, which is what lets
+// the differential tests compare the two paths bit-for-bit.
+//
+// Per step, Curr mirrors the paper's g_CurrCov array: Curr[branch] != 0 iff
+// that branch element triggered during the current model iteration. The
+// cumulative Total array and the per-decision condition-vector sets (for
+// MCDC) persist across the whole campaign.
+type Recorder struct {
+	plan *Plan
+
+	// Curr is the per-iteration branch hit array (g_CurrCov).
+	Curr []uint8
+	// Total is the cumulative branch hit array (g_TotalCov).
+	Total []uint8
+
+	// condVec holds, per decision, the condition values observed since the
+	// decision last resolved (bit per condition slot).
+	condVec []uint32
+	// vecs records, per decision, the set of (condition vector, outcome)
+	// pairs seen — the raw material for MCDC pairing. Bounded per decision.
+	vecs []map[uint64]struct{}
+}
+
+// maxVectorsPerDecision bounds MCDC bookkeeping per decision. 1<<16 packed
+// vectors cover every decision with up to 16 conditions exhaustively.
+const maxVectorsPerDecision = 1 << 16
+
+// NewRecorder creates a recorder for the given plan.
+func NewRecorder(p *Plan) *Recorder {
+	r := &Recorder{
+		plan:    p,
+		Curr:    make([]uint8, p.NumBranches),
+		Total:   make([]uint8, p.NumBranches),
+		condVec: make([]uint32, len(p.Decisions)),
+		vecs:    make([]map[uint64]struct{}, len(p.Decisions)),
+	}
+	for i := range r.vecs {
+		r.vecs[i] = make(map[uint64]struct{})
+	}
+	return r
+}
+
+// Plan returns the plan this recorder was built for.
+func (r *Recorder) Plan() *Plan { return r.plan }
+
+// BeginStep clears the per-iteration coverage (Algorithm 1 line 11).
+func (r *Recorder) BeginStep() {
+	for i := range r.Curr {
+		r.Curr[i] = 0
+	}
+	for i := range r.condVec {
+		r.condVec[i] = 0
+	}
+}
+
+// Cond records one condition evaluation: both the branch hit (true or false
+// polarity) and the bit in the owning decision's condition vector.
+func (r *Recorder) Cond(condID int, v bool) {
+	c := &r.plan.Conds[condID]
+	branch := c.BranchBase
+	if !v {
+		branch++
+	}
+	r.Curr[branch] = 1
+	r.Total[branch] = 1
+	if v {
+		r.condVec[c.DecisionID] |= 1 << uint(c.Slot)
+	} else {
+		r.condVec[c.DecisionID] &^= 1 << uint(c.Slot)
+	}
+}
+
+// Outcome records a decision resolving to the given outcome index, snapshots
+// the condition vector for MCDC, and resets the vector for the next
+// evaluation. This is the paper's CoverageStatistics() entry point.
+func (r *Recorder) Outcome(decID, outcome int) {
+	d := &r.plan.Decisions[decID]
+	branch := d.OutcomeBase + outcome
+	r.Curr[branch] = 1
+	r.Total[branch] = 1
+	if len(d.CondIDs) > 0 {
+		set := r.vecs[decID]
+		if len(set) < maxVectorsPerDecision {
+			key := uint64(r.condVec[decID]) | uint64(outcome)<<32
+			set[key] = struct{}{}
+		}
+		r.condVec[decID] = 0
+	}
+}
+
+// ResetAll clears all accumulated coverage (between campaigns).
+func (r *Recorder) ResetAll() {
+	r.BeginStep()
+	for i := range r.Total {
+		r.Total[i] = 0
+	}
+	for i := range r.vecs {
+		r.vecs[i] = make(map[uint64]struct{})
+	}
+}
+
+// CoveredBranches counts branch IDs hit so far.
+func (r *Recorder) CoveredBranches() int {
+	n := 0
+	for _, v := range r.Total {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds another recorder's cumulative coverage into r (used to average
+// repeated campaigns or to union per-worker results).
+func (r *Recorder) Merge(other *Recorder) {
+	for i, v := range other.Total {
+		if v != 0 {
+			r.Total[i] = 1
+		}
+	}
+	for d, set := range other.vecs {
+		dst := r.vecs[d]
+		for k := range set {
+			if len(dst) >= maxVectorsPerDecision {
+				break
+			}
+			dst[k] = struct{}{}
+		}
+	}
+}
+
+// Snapshot returns a copy of the cumulative branch array.
+func (r *Recorder) Snapshot() []uint8 {
+	out := make([]uint8, len(r.Total))
+	copy(out, r.Total)
+	return out
+}

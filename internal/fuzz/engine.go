@@ -1,0 +1,463 @@
+package fuzz
+
+import (
+	"math/rand"
+	"time"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/coverage"
+	"cftcg/internal/model"
+	"cftcg/internal/testcase"
+	"cftcg/internal/vm"
+)
+
+// Mode selects the fuzzing configuration.
+type Mode uint8
+
+const (
+	// ModeModelOriented is full CFTCG: tuple-wise mutation, model-level
+	// branch feedback, iteration-difference corpus priority.
+	ModeModelOriented Mode = iota
+	// ModeFuzzOnly is the Figure 8 ablation: generic byte mutation and
+	// code-level feedback only — branchless-compiled boolean logic, data
+	// switches and saturations are invisible to the fuzzer (their probes
+	// do not guide the corpus), exactly like fuzzing Simulink Coder output
+	// with a stock fuzzer at -O2.
+	ModeFuzzOnly
+	// ModeNoIterDiff is the ablation for Algorithm 1's metric: model
+	// mutations and full feedback, but corpus entries carry uniform
+	// weight instead of iteration-difference priority.
+	ModeNoIterDiff
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeModelOriented:
+		return "cftcg"
+	case ModeFuzzOnly:
+		return "fuzz-only"
+	case ModeNoIterDiff:
+		return "no-iterdiff"
+	}
+	return "mode(?)"
+}
+
+// Options configures a fuzzing campaign. At least one of MaxExecs or Budget
+// must be set.
+type Options struct {
+	Seed      int64
+	Mode      Mode
+	MaxTuples int           // input length cap in tuples (default 64)
+	MaxExecs  int64         // execution budget (0 = unlimited)
+	Budget    time.Duration // wall-clock budget (0 = unlimited)
+	// CorpusCap bounds corpus size (default 256; lowest-weight evicted).
+	CorpusCap int
+
+	// NoHints disables the comparison-constant dictionary extracted from
+	// the instrumented program (§5's "dynamic numerical range constraint"
+	// mitigation). Hints are never used in fuzz-only mode — a generic
+	// fuzzer has no model knowledge.
+	NoHints bool
+	// Ranges optionally bounds each input field's generated values (§5's
+	// tester-specified inport ranges), indexed like the tuple fields.
+	Ranges []Range
+	// SeedInputs pre-populates the corpus, e.g. with witnesses from the
+	// constraint solver — the §6 future-work hybrid of constraint solving
+	// and fuzzing.
+	SeedInputs [][]byte
+}
+
+// Point is one sample of the coverage-versus-time curve (Figure 7), shared
+// with the baseline tools so the harness plots them together.
+type Point = coverage.TimePoint
+
+// Result summarizes a campaign.
+type Result struct {
+	Report   coverage.Report
+	Suite    *testcase.Suite
+	Execs    int64 // fuzz-driver invocations
+	Steps    int64 // model iterations executed
+	Timeline []Point
+	Corpus   int // final corpus size
+
+	// Violations lists inputs that tripped an Assertion block (bounded to
+	// the first few distinct finds) — the verification payoff of fuzzing
+	// beyond coverage.
+	Violations []testcase.Case
+}
+
+// Engine is the in-process fuzzer bound to one compiled model.
+type Engine struct {
+	c    *codegen.Compiled
+	rec  *coverage.Recorder
+	m    *vm.Machine
+	opts Options
+	rng  *rand.Rand
+
+	mut   *Mutator
+	bmut  *ByteMutator
+	tuple int
+
+	// feedback state
+	seen     []uint8 // all branches ever hit (test-case emission)
+	mask     []bool  // branches visible to the fuzzer's feedback
+	last     []uint8 // previous iteration's coverage (Algorithm 1 lastCov)
+	tupleBuf []uint64
+
+	// incremental metric counters for cheap timeline points
+	isOutcome    []bool
+	covOutcomes  int
+	covConds     int
+	totOutcomes  int
+	totConds     int
+	coveredCount int
+
+	corpus []entry
+
+	// assertBranches holds the branch IDs meaning "assertion violated".
+	assertBranches []int
+	lastViolated   bool
+	bestRawMetric  int
+
+	start      time.Time
+	execs      int64
+	steps      int64
+	timeline   []Point
+	cases      []testcase.Case
+	violations []testcase.Case
+}
+
+type entry struct {
+	data   []byte
+	weight float64
+	// pinned marks entries admitted for new coverage; they are never
+	// evicted in favour of metric-record entries.
+	pinned bool
+}
+
+// NewEngine builds a fuzzer for a compiled model.
+func NewEngine(c *codegen.Compiled, opts Options) *Engine {
+	if opts.MaxTuples <= 0 {
+		opts.MaxTuples = 64
+	}
+	if opts.CorpusCap <= 0 {
+		opts.CorpusCap = 256
+	}
+	rec := coverage.NewRecorder(c.Plan)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	e := &Engine{
+		c:        c,
+		rec:      rec,
+		m:        vm.New(c.Prog, rec),
+		opts:     opts,
+		rng:      rng,
+		mut:      NewMutator(c.Prog.In, c.Prog.TupleSize(), opts.MaxTuples, rng),
+		bmut:     NewByteMutator(opts.MaxTuples*c.Prog.TupleSize(), rng),
+		tuple:    c.Prog.TupleSize(),
+		seen:     make([]uint8, c.Plan.NumBranches),
+		last:     make([]uint8, c.Plan.NumBranches),
+		tupleBuf: make([]uint64, len(c.Prog.In)),
+	}
+	if !opts.NoHints && opts.Mode != ModeFuzzOnly {
+		e.mut.SetHints(codegen.FieldHints(c.Prog))
+	}
+	if opts.Ranges != nil {
+		e.mut.SetRanges(opts.Ranges)
+	}
+	e.buildMask()
+	return e
+}
+
+// buildMask marks which branch slots the fuzzer's feedback can observe. In
+// model-oriented modes every probe is visible. In fuzz-only mode, only
+// decisions that compile to actual jumps at -O2 remain: control-flow
+// decisions (If, SwitchCase, script ifs, chart transitions, subsystem
+// enables). Boolean operators, data switches, min/max and saturations
+// compile branchlessly, and condition probes do not exist at the code level
+// — the paper's Figure 8 analysis.
+func (e *Engine) buildMask() {
+	p := e.c.Plan
+	e.mask = make([]bool, p.NumBranches)
+	e.isOutcome = make([]bool, p.NumBranches)
+	for i := range p.Decisions {
+		d := &p.Decisions[i]
+		e.totOutcomes += d.NumOutcomes
+		visible := true
+		if e.opts.Mode == ModeFuzzOnly {
+			switch d.Kind {
+			case coverage.KindIf, coverage.KindSwitchCase, coverage.KindScriptIf,
+				coverage.KindTransition, coverage.KindEnable, coverage.KindTrigger:
+				visible = true
+			default:
+				visible = false
+			}
+		}
+		for k := 0; k < d.NumOutcomes; k++ {
+			e.mask[d.OutcomeBase+k] = visible
+			e.isOutcome[d.OutcomeBase+k] = true
+		}
+	}
+	e.totConds = 2 * len(p.Conds)
+	for i := range p.Conds {
+		c := &p.Conds[i]
+		visible := e.opts.Mode != ModeFuzzOnly
+		e.mask[c.BranchBase] = visible
+		e.mask[c.BranchBase+1] = visible
+	}
+	for i := range p.Decisions {
+		d := &p.Decisions[i]
+		if d.Kind == coverage.KindAssertion {
+			e.assertBranches = append(e.assertBranches, d.OutcomeBase) // outcome 0 = violated
+		}
+	}
+}
+
+// Recorder exposes the campaign's coverage recorder (for reports).
+func (e *Engine) Recorder() *coverage.Recorder { return e.rec }
+
+// RunInput executes one test input through the fuzz driver — Algorithm 1.
+// It returns the Iteration Difference Coverage metric, how many
+// feedback-visible branches were new, and how many branches were new at all.
+func (e *Engine) RunInput(data []byte) (metric int, newMasked, newAny int) {
+	rec := e.rec
+	e.lastViolated = false
+	rec.BeginStep()
+	e.m.Init()
+	// Coverage triggered by initialization (e.g. chart entry actions)
+	// counts toward totals but not toward the iteration metric.
+	for b, v := range rec.Curr {
+		if v != 0 && e.seen[b] == 0 {
+			e.seen[b] = 1
+			e.noteNewBranch(b, &newMasked, &newAny)
+		}
+	}
+	for i := range e.last {
+		e.last[i] = 0
+	}
+
+	n := len(data) / e.tuple
+	fields := e.c.Prog.In
+	for it := 0; it < n; it++ {
+		base := it * e.tuple
+		for fi, f := range fields {
+			e.tupleBuf[fi] = model.GetRaw(f.Type, data[base+f.Offset:])
+		}
+		rec.BeginStep()
+		e.m.Step(e.tupleBuf)
+		e.steps++
+		curr := rec.Curr
+		for _, br := range e.assertBranches {
+			if curr[br] != 0 {
+				e.lastViolated = true
+			}
+		}
+		last := e.last
+		for b := range curr {
+			c := curr[b]
+			if c != 0 && e.seen[b] == 0 {
+				e.seen[b] = 1
+				e.noteNewBranch(b, &newMasked, &newAny)
+			}
+			if c != last[b] {
+				metric++
+				last[b] = c
+			}
+		}
+	}
+	e.execs++
+	return metric, newMasked, newAny
+}
+
+func (e *Engine) noteNewBranch(b int, newMasked, newAny *int) {
+	*newAny++
+	if e.mask[b] {
+		*newMasked++
+	}
+	e.coveredCount++
+	if e.isOutcome[b] {
+		e.covOutcomes++
+	} else {
+		e.covConds++
+	}
+}
+
+// Run executes the fuzzing campaign.
+func (e *Engine) Run() *Result {
+	e.start = time.Now()
+	e.samplePoint()
+
+	// Seed corpus: the empty input, a single zero tuple, a few random
+	// streams, and any caller-provided seeds (e.g. constraint-solver
+	// witnesses in hybrid mode).
+	seeds := [][]byte{
+		{},
+		make([]byte, e.tuple),
+	}
+	for i := 0; i < 4; i++ {
+		var s []byte
+		for k := 0; k < 4+e.rng.Intn(8); k++ {
+			s = append(s, e.mut.RandomTuple()...)
+		}
+		seeds = append(seeds, s)
+	}
+	seeds = append(seeds, e.opts.SeedInputs...)
+	for _, s := range seeds {
+		e.tryInput(s)
+	}
+
+	checkEvery := int64(256)
+	for {
+		if e.opts.MaxExecs > 0 && e.execs >= e.opts.MaxExecs {
+			break
+		}
+		if e.opts.Budget > 0 && e.execs%checkEvery == 0 && time.Since(e.start) >= e.opts.Budget {
+			break
+		}
+		if e.opts.MaxExecs == 0 && e.opts.Budget == 0 {
+			break // no budget: seeds only
+		}
+		parent := e.pick()
+		other := e.pick()
+		var cand []byte
+		if e.opts.Mode == ModeFuzzOnly {
+			cand = e.bmut.Mutate(parent, other)
+		} else {
+			cand = e.mut.Mutate(parent, other)
+		}
+		e.tryInput(cand)
+	}
+
+	e.samplePoint()
+	return &Result{
+		Report: e.rec.Report(),
+		Suite: &testcase.Suite{
+			Model:  e.c.Prog.Name,
+			Layout: model.Layout{Fields: e.c.Prog.In, TupleSize: e.tuple},
+			Cases:  e.cases,
+		},
+		Execs:      e.execs,
+		Steps:      e.steps,
+		Timeline:   e.timeline,
+		Corpus:     len(e.corpus),
+		Violations: e.violations,
+	}
+}
+
+// tryInput runs one candidate and applies the corpus/test-case policy: any
+// input hitting new model coverage is emitted as a test case; inputs with
+// new visible coverage or outstanding iteration-difference metric join the
+// corpus (weighted by the metric in model-oriented mode).
+func (e *Engine) tryInput(data []byte) {
+	metric, newMasked, newAny := e.RunInput(data)
+
+	if newAny > 0 {
+		e.cases = append(e.cases, testcase.Case{
+			Data:        append([]byte(nil), data...),
+			Found:       time.Since(e.start),
+			Metric:      metric,
+			NewBranches: newAny,
+		})
+		e.samplePoint()
+	}
+	if e.lastViolated && (newAny > 0 || len(e.violations) < 8) {
+		e.violations = append(e.violations, testcase.Case{
+			Data:   append([]byte(nil), data...),
+			Found:  time.Since(e.start),
+			Metric: metric,
+		})
+	}
+
+	admit := newMasked > 0
+	weight := 1.0
+	if e.opts.Mode == ModeModelOriented {
+		// Weight by iteration-difference *density* (metric per iteration):
+		// raw metric grows with input length, and proportional weighting
+		// would collapse the corpus onto a few long attractors. Density
+		// rewards inputs whose iterations keep changing the triggered
+		// logic — the diversification Algorithm 1 is after.
+		iters := len(data)/e.tuple + 1
+		weight = 1 + float64(metric)/float64(iters)
+		if metric >= 2*e.bestRawMetric && metric > 0 {
+			// A decisive iteration-difference record diversifies execution
+			// paths even without new branches (the paper's corpus policy).
+			// Requiring the record to double keeps such entries to a
+			// handful, so they add diversity without draining mutation
+			// energy from the coverage frontier.
+			e.bestRawMetric = metric
+			admit = admit || len(e.corpus) > 0
+		}
+	}
+	if admit {
+		e.corpus = append(e.corpus, entry{
+			data:   append([]byte(nil), data...),
+			weight: weight,
+			pinned: newMasked > 0,
+		})
+		if len(e.corpus) > e.opts.CorpusCap {
+			e.evict()
+		}
+	}
+}
+
+// evict removes the lowest-weight unpinned corpus entry; coverage-finding
+// entries are only displaced by each other (oldest first) when the whole
+// corpus is pinned.
+func (e *Engine) evict() {
+	lo := -1
+	for i, en := range e.corpus {
+		if en.pinned {
+			continue
+		}
+		if lo < 0 || en.weight < e.corpus[lo].weight {
+			lo = i
+		}
+	}
+	if lo < 0 {
+		lo = 0 // everything pinned: drop the oldest
+	}
+	e.corpus = append(e.corpus[:lo], e.corpus[lo+1:]...)
+}
+
+// pick selects a corpus entry. Selection is uniform with a mild recency
+// bias; in model-oriented mode one pick in four is drawn weighted by the
+// iteration-difference density, steering some mutation energy toward
+// behaviourally diverse inputs without starving the coverage frontier.
+func (e *Engine) pick() []byte {
+	if len(e.corpus) == 0 {
+		return e.mut.RandomTuple()
+	}
+	if e.opts.Mode == ModeModelOriented && e.rng.Intn(4) == 0 {
+		total := 0.0
+		for _, en := range e.corpus {
+			total += en.weight
+		}
+		x := e.rng.Float64() * total
+		for _, en := range e.corpus {
+			x -= en.weight
+			if x <= 0 {
+				return en.data
+			}
+		}
+	}
+	return e.corpus[e.rng.Intn(len(e.corpus))].data
+}
+
+// samplePoint appends a coverage-timeline sample (cheap: incremental
+// counters, no MCDC pairing).
+func (e *Engine) samplePoint() {
+	dec := 100.0
+	if e.totOutcomes > 0 {
+		dec = 100 * float64(e.covOutcomes) / float64(e.totOutcomes)
+	}
+	cond := 100.0
+	if e.totConds > 0 {
+		cond = 100 * float64(e.covConds) / float64(e.totConds)
+	}
+	e.timeline = append(e.timeline, Point{
+		Elapsed:   time.Since(e.start),
+		Execs:     e.execs,
+		Decision:  dec,
+		Condition: cond,
+		Branches:  e.coveredCount,
+	})
+}

@@ -1,0 +1,169 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cftcg/internal/model"
+)
+
+func testFields() []model.Field {
+	return []model.Field{
+		{Name: "a", Type: model.Int8, Offset: 0},
+		{Name: "b", Type: model.Int32, Offset: 1},
+		{Name: "c", Type: model.Float64, Offset: 5},
+	}
+}
+
+const testTuple = 13
+
+// Property: every Table 1 strategy preserves tuple alignment — the output
+// length is always a whole number of tuples. This is exactly the property
+// the paper's Figure 8 analysis says generic byte mutation violates.
+func TestStrategiesPreserveAlignment(t *testing.T) {
+	prop := func(seed int64, nData, nOther uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mut := NewMutator(testFields(), testTuple, 64, rng)
+		data := make([]byte, int(nData%20)*testTuple)
+		other := make([]byte, int(nOther%20)*testTuple)
+		rng.Read(data)
+		rng.Read(other)
+		for s := ChangeBinaryInteger; s <= TuplesCrossOver; s++ {
+			out := mut.Apply(s, data, other)
+			if len(out)%testTuple != 0 {
+				t.Logf("strategy %s misaligned: %d bytes", s, len(out))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mutate never exceeds the tuple cap and never returns empty.
+func TestMutateRespectsCap(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mut := NewMutator(testFields(), testTuple, 8, rng)
+		data := make([]byte, int(n%16)*testTuple)
+		rng.Read(data)
+		out := mut.Mutate(data, data)
+		return len(out) > 0 && len(out) <= 8*testTuple && len(out)%testTuple == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply does not modify its input slice (copy-on-write).
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mut := NewMutator(testFields(), testTuple, 64, rng)
+	data := make([]byte, 5*testTuple)
+	rng.Read(data)
+	orig := append([]byte(nil), data...)
+	for s := ChangeBinaryInteger; s <= TuplesCrossOver; s++ {
+		for i := 0; i < 50; i++ {
+			mut.Apply(s, data, orig)
+		}
+	}
+	if string(data) != string(orig) {
+		t.Error("Apply mutated the input slice")
+	}
+}
+
+// ChangeBinaryInteger must only touch the targeted field's bytes within one
+// tuple (field-wise mutation, Table 1).
+func TestChangeIntegerIsFieldLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mut := NewMutator(testFields(), testTuple, 64, rng)
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, 4*testTuple)
+		rng.Read(data)
+		before := append([]byte(nil), data...)
+		out := mut.Apply(ChangeBinaryInteger, data, nil)
+		if len(out) != len(before) {
+			continue // fell back to insert (no int fields would be absurd here)
+		}
+		diff := 0
+		for i := range out {
+			if out[i] != before[i] {
+				diff++
+			}
+		}
+		// int8 (1 byte) or int32 (4 bytes) fields only.
+		if diff > 4 {
+			t.Fatalf("trial %d: %d bytes changed, expected <= 4", trial, diff)
+		}
+	}
+}
+
+func TestRandomTupleLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mut := NewMutator(testFields(), testTuple, 64, rng)
+	for i := 0; i < 100; i++ {
+		if got := len(mut.RandomTuple()); got != testTuple {
+			t.Fatalf("random tuple length %d", got)
+		}
+	}
+}
+
+// The byte-level ablation mutator may misalign tuples — that is its point —
+// but it must respect its length cap and never return empty.
+func TestByteMutatorCap(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bm := NewByteMutator(100, rng)
+		data := make([]byte, int(n%120))
+		rng.Read(data)
+		out := bm.Mutate(data, data)
+		return len(out) > 0 && len(out) <= 100
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteMutatorMisalignsEventually(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bm := NewByteMutator(1024, rng)
+	data := make([]byte, 4*testTuple)
+	misaligned := false
+	for i := 0; i < 200 && !misaligned; i++ {
+		out := bm.Mutate(data, data)
+		if len(out)%testTuple != 0 {
+			misaligned = true
+		}
+	}
+	if !misaligned {
+		t.Error("byte mutator never misaligned tuples — ablation would be meaningless")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	want := []string{
+		"ChangeBinaryInteger", "ChangeBinaryFloat", "EraseTuples", "InsertTuple",
+		"InsertRepeatedTuples", "ShuffleTuples", "CopyTuples", "TuplesCrossOver",
+	}
+	for i, w := range want {
+		if Strategy(i).String() != w {
+			t.Errorf("strategy %d: %s, want %s", i, Strategy(i), w)
+		}
+	}
+}
+
+// EraseTuples must never erase everything (it keeps at least one tuple).
+func TestEraseKeepsSomething(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mut := NewMutator(testFields(), testTuple, 64, rng)
+	for i := 0; i < 300; i++ {
+		data := make([]byte, (1+rng.Intn(6))*testTuple)
+		out := mut.Apply(EraseTuples, data, nil)
+		if len(data) > testTuple && len(out) == 0 {
+			t.Fatal("EraseTuples removed every tuple")
+		}
+	}
+}

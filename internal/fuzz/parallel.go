@@ -1,0 +1,55 @@
+package fuzz
+
+import (
+	"sync"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/coverage"
+	"cftcg/internal/testcase"
+)
+
+// RunParallel fuzzes one model with `workers` independent engines (distinct
+// seeds) and merges their results: the union of coverage, the concatenated
+// suites (minimized against the merged plan), and the summed work counters.
+// An in-process LibFuzzer-style engine shares nothing but the immutable
+// program, so this is plain data parallelism.
+func RunParallel(c *codegen.Compiled, opts Options, workers int) *Result {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, workers)
+	recorders := make([]*coverage.Recorder, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := opts
+			o.Seed = opts.Seed + int64(w)*7919 // distinct prime-spaced streams
+			eng := NewEngine(c, o)
+			results[w] = eng.Run()
+			recorders[w] = eng.Recorder()
+		}(w)
+	}
+	wg.Wait()
+
+	merged := coverage.NewRecorder(c.Plan)
+	out := &Result{Suite: &testcase.Suite{
+		Model:  c.Prog.Name,
+		Layout: results[0].Suite.Layout,
+	}}
+	for w, r := range results {
+		merged.Merge(recorders[w])
+		out.Execs += r.Execs
+		out.Steps += r.Steps
+		out.Corpus += r.Corpus
+		out.Suite.Cases = append(out.Suite.Cases, r.Suite.Cases...)
+		out.Violations = append(out.Violations, r.Violations...)
+		if w == 0 {
+			out.Timeline = r.Timeline
+		}
+	}
+	out.Suite.Cases = Minimize(c, out.Suite.Cases)
+	out.Report = merged.Report()
+	return out
+}

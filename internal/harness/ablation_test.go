@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/benchmodels"
+)
+
+func TestRunAblationAndFormat(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunAblation([]benchmodels.Entry{e}, 2000, 1, 2)
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, variant := range []string{"full", "no-iterdiff", "no-hints"} {
+		v, ok := rows[0].Variants[variant]
+		if !ok {
+			t.Fatalf("missing variant %s", variant)
+		}
+		if v.Decision <= 0 || v.Decision > 100 {
+			t.Errorf("%s decision out of range: %v", variant, v.Decision)
+		}
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "SolarPV") || !strings.Contains(out, "no-hints") {
+		t.Errorf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+	"cftcg/internal/coverage"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Budget = 250 * time.Millisecond
+	cfg.Repetitions = 1
+	cfg.SLDVDepth = 3
+	return cfg
+}
+
+func TestRunModelAllTools(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RunModel(e, []Tool{ToolSLDV, ToolSimCoTest, ToolCFTCG, ToolFuzzOnly}, quickConfig())
+	if err != nil {
+		t.Fatalf("RunModel: %v", err)
+	}
+	for _, tool := range []Tool{ToolSLDV, ToolSimCoTest, ToolCFTCG, ToolFuzzOnly} {
+		tr, ok := mr.Results[tool]
+		if !ok {
+			t.Fatalf("missing result for %s", tool)
+		}
+		if tr.Decision < 0 || tr.Decision > 100 {
+			t.Errorf("%s: decision out of range: %v", tool, tr.Decision)
+		}
+		if tr.Decision == 0 {
+			t.Errorf("%s: found no coverage at all", tool)
+		}
+	}
+	cftcg := mr.Results[ToolCFTCG]
+	if cftcg.Decision < 50 {
+		t.Errorf("CFTCG should reach most of SolarPV quickly: %.1f%%", cftcg.Decision)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Budget = 100 * time.Millisecond
+	mr, err := RunModel(e, []Tool{ToolSLDV, ToolSimCoTest, ToolCFTCG, ToolFuzzOnly}, cfg)
+	if err != nil {
+		t.Fatalf("RunModel: %v", err)
+	}
+	results := []ModelResult{mr}
+
+	t2 := FormatTable2(results)
+	if !strings.Contains(t2, "SolarPV") || !strings.Contains(t2, "#Branch") {
+		t.Errorf("Table 2 malformed:\n%s", t2)
+	}
+	t3 := FormatTable3(results)
+	if !strings.Contains(t3, "CFTCG") || !strings.Contains(t3, "SimCoTest") {
+		t.Errorf("Table 3 malformed:\n%s", t3)
+	}
+	f7 := FormatFigure7(results, cfg.Budget, 8)
+	if !strings.Contains(f7, "SolarPV") {
+		t.Errorf("Figure 7 malformed:\n%s", f7)
+	}
+	f8 := FormatFigure8(results)
+	if !strings.Contains(f8, "FuzzOnly") {
+		t.Errorf("Figure 8 malformed:\n%s", f8)
+	}
+}
+
+func TestMeasureSpeedRatio(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := codegen.Compile(e.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := MeasureSpeed(c, 100*time.Millisecond, 1)
+	if err != nil {
+		t.Fatalf("MeasureSpeed: %v", err)
+	}
+	if sp.VMStepsPerSec <= 0 || sp.SimStepsPerSec <= 0 {
+		t.Fatalf("rates must be positive: %+v", sp)
+	}
+	// The compiled path must beat the engine by a wide margin — the §4
+	// speed claim. We require at least 5x here (typically it is much more).
+	if sp.Ratio() < 5 {
+		t.Errorf("compiled/simulated ratio too small: %v", sp)
+	}
+	t.Log(sp.String())
+}
+
+func TestHybridTool(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	mr, err := RunModel(e, []Tool{ToolHybrid}, cfg)
+	if err != nil {
+		t.Fatalf("RunModel hybrid: %v", err)
+	}
+	tr := mr.Results[ToolHybrid]
+	if tr.Decision <= 0 {
+		t.Error("hybrid found no coverage")
+	}
+	if tr.Execs == 0 {
+		t.Error("hybrid ran nothing")
+	}
+}
+
+func TestSampleTimelineStepFunction(t *testing.T) {
+	tl := []coverage.TimePoint{
+		{Elapsed: 10 * time.Millisecond, Decision: 20},
+		{Elapsed: 50 * time.Millisecond, Decision: 60},
+	}
+	samples := SampleTimeline(tl, 100*time.Millisecond, 4)
+	want := []float64{20, 60, 60, 60}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Errorf("sample %d: want %v got %v (all %v)", i, want[i], samples[i], samples)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package interp
+
+import (
+	"fmt"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/coverage"
+	"cftcg/internal/model"
+)
+
+// Engine simulates a model by interpretation. Construction resolves nothing
+// new — it reuses the analyzed Design — but execution walks the diagram
+// block by block every step, boxing every signal into the per-step signal
+// dictionary, exactly the workload profile of a simulation engine.
+type Engine struct {
+	design *blocks.Design
+	plan   *coverage.Plan
+	ix     *coverage.Index
+	rec    *coverage.Recorder
+
+	states map[*model.Block]*blockState
+	out    []uint64
+
+	// Signals is the per-step signal dictionary (path -> value). It is
+	// rebuilt every iteration; simulation observers read it. The rebuild
+	// cost is part of the engine's honest overhead.
+	Signals map[string]Value
+}
+
+// blockState carries a block's persistent simulation state.
+type blockState struct {
+	vals   []Value          // generic slots (delay lines, counters, holds)
+	env    map[string]Value // chart/matlab persistent variables
+	active int              // chart active state index
+}
+
+// New creates an engine over an analyzed design. rec may be nil.
+func New(d *blocks.Design, plan *coverage.Plan, ix *coverage.Index, rec *coverage.Recorder) *Engine {
+	return &Engine{
+		design: d,
+		plan:   plan,
+		ix:     ix,
+		rec:    rec,
+		states: map[*model.Block]*blockState{},
+		out:    make([]uint64, len(d.Model.Outports())),
+	}
+}
+
+// Out returns the last step's outport values in the same raw convention as
+// the VM, enabling bit-exact differential comparison.
+func (e *Engine) Out() []uint64 { return e.out }
+
+// Init resets all block states and runs chart initial-state entry actions —
+// the engine analogue of the generated model_init().
+func (e *Engine) Init() error {
+	e.states = map[*model.Block]*blockState{}
+	for i := range e.out {
+		e.out[i] = 0
+	}
+	return e.initGraph(e.design.Root)
+}
+
+func (e *Engine) initGraph(gi *blocks.GraphInfo) error {
+	for _, b := range gi.Graph.Blocks {
+		if b.Kind == "Chart" {
+			if err := e.initChart(b); err != nil {
+				return err
+			}
+		}
+		if child, ok := gi.Children[b.ID]; ok {
+			if err := e.initGraph(child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// state returns (creating on first use) the persistent state of a block.
+func (e *Engine) state(b *model.Block) *blockState {
+	s, ok := e.states[b]
+	if !ok {
+		s = &blockState{}
+		e.states[b] = s
+	}
+	return s
+}
+
+// scope is the per-graph-instance evaluation context for one step.
+type scope struct {
+	gi       *blocks.GraphInfo
+	vals     map[model.PortRef]Value
+	deferred []func() error
+}
+
+func (e *Engine) val(s *scope, id model.BlockID, port int) (Value, error) {
+	src, ok := s.gi.Source[model.PortRef{Block: id, Port: port}]
+	if !ok {
+		return Value{}, fmt.Errorf("interp: %s: block %s input %d unconnected", s.gi.Path, s.gi.Graph.Block(id).Name, port)
+	}
+	v, ok := s.vals[src]
+	if !ok {
+		return Value{}, fmt.Errorf("interp: %s: value of %s not computed", s.gi.Path, s.gi.Graph.Block(src.Block).Name)
+	}
+	return v, nil
+}
+
+func (e *Engine) in(s *scope, id model.BlockID, port int, want model.DType) (Value, error) {
+	v, err := e.val(s, id, port)
+	if err != nil {
+		return Value{}, err
+	}
+	return v.Cast(want), nil
+}
+
+// Step executes one model iteration with raw input values (one per inport
+// field, in index order) and returns the raw outport values.
+func (e *Engine) Step(in []uint64) ([]uint64, error) {
+	// Rebuild the signal dictionary — per-step allocation is part of the
+	// simulation engine's cost model.
+	e.Signals = make(map[string]Value)
+
+	root := &scope{gi: e.design.Root, vals: map[model.PortRef]Value{}}
+	inports := e.design.Model.Inports()
+	if len(in) != len(inports) {
+		return nil, fmt.Errorf("interp: %d input values for %d inports", len(in), len(inports))
+	}
+	for i, p := range inports {
+		dt := p.Params.DType("Type", model.Float64)
+		root.vals[model.PortRef{Block: p.ID, Port: 0}] = V(dt, in[i])
+	}
+	if err := e.evalGraph(root); err != nil {
+		return nil, err
+	}
+	for i, p := range e.design.Model.Outports() {
+		dt := p.Params.DType("Type", model.Float64)
+		v, err := e.in(root, p.ID, 0, dt)
+		if err != nil {
+			return nil, err
+		}
+		e.out[i] = v.Raw
+	}
+	return e.out, nil
+}
+
+// evalGraph executes a graph body in schedule order, then runs deferred
+// state updates (delay writes) — mirroring the generated code's layout.
+func (e *Engine) evalGraph(s *scope) error {
+	for _, id := range s.gi.Order {
+		b := s.gi.Graph.Block(id)
+		if err := e.evalBlock(s, b); err != nil {
+			return err
+		}
+		// Publish outputs into the signal dictionary.
+		for p := 0; p < s.gi.OutCount[id]; p++ {
+			ref := model.PortRef{Block: id, Port: p}
+			if v, ok := s.vals[ref]; ok {
+				e.Signals[fmt.Sprintf("%s/%s:%d", s.gi.Path, b.Name, p)] = v
+			}
+		}
+	}
+	for _, fn := range s.deferred {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probePair mirrors codegen's boolean-decision instrumentation.
+func (e *Engine) probePair(decID int, v bool) {
+	if e.rec == nil {
+		return
+	}
+	if v {
+		e.rec.Outcome(decID, 1)
+	} else {
+		e.rec.Outcome(decID, 0)
+	}
+}
+
+func (e *Engine) probe(decID, outcome int) {
+	if e.rec != nil {
+		e.rec.Outcome(decID, outcome)
+	}
+}
+
+func (e *Engine) condProbe(condID int, v bool) {
+	if e.rec != nil {
+		e.rec.Cond(condID, v)
+	}
+}

@@ -1,0 +1,888 @@
+package interp
+
+import (
+	"fmt"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/model"
+)
+
+// evalBlock executes one block. The semantics (including coverage outcome
+// numbering) intentionally mirror codegen's lowering; any divergence is a
+// bug the differential tests catch.
+func (e *Engine) evalBlock(s *scope, b *model.Block) error {
+	gi := s.gi
+	out0 := model.PortRef{Block: b.ID, Port: 0}
+	outDT := gi.OutType[out0]
+	decs := e.ix.BlockDecisions[b]
+	set := func(v Value) { s.vals[out0] = v }
+
+	switch b.Kind {
+	case "Inport":
+		if _, ok := s.vals[out0]; !ok {
+			return fmt.Errorf("interp: %s/%s: unbound inport", gi.Path, b.Name)
+		}
+
+	case "Outport", "Terminator", "Scope":
+		// sinks
+
+	case "Constant":
+		set(FromFloat(outDT, b.Params.Float("Value", 0)))
+
+	case "Ground":
+		set(FromFloat(outDT, 0))
+
+	case "Clock":
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, 0)}
+		}
+		t := st.vals[0]
+		set(t)
+		st.vals[0] = arith('+', outDT, t, FromFloat(outDT, e.design.Model.SampleTime))
+
+	case "Counter":
+		st := e.state(b)
+		init := b.Params.Float("Init", 0)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, init)}
+		}
+		c := st.vals[0]
+		set(c)
+		next := arith('+', outDT, c, FromFloat(outDT, b.Params.Float("Inc", 1)))
+		if compare(">", outDT, next, FromFloat(outDT, b.Params.Float("Max", 255))) {
+			next = FromFloat(outDT, init)
+		}
+		st.vals[0] = next
+
+	case "Gain":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		set(arith('*', outDT, in, FromFloat(outDT, b.Params.Float("Gain", 1))))
+
+	case "Bias":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		set(arith('+', outDT, in, FromFloat(outDT, b.Params.Float("Bias", 0))))
+
+	case "UnaryMinus":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		set(neg(outDT, in))
+
+	case "Abs":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		e.probePair(decs[0], compare("<", outDT, in, FromFloat(outDT, 0)))
+		set(absV(outDT, in))
+
+	case "Sign":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		zero := FromFloat(outDT, 0)
+		switch {
+		case compare("<", outDT, in, zero):
+			e.probe(decs[0], 0)
+			set(FromFloat(outDT, -1))
+		case compare(">", outDT, in, zero):
+			e.probe(decs[0], 2)
+			set(FromFloat(outDT, 1))
+		default:
+			e.probe(decs[0], 1)
+			set(FromFloat(outDT, 0))
+		}
+
+	case "Sqrt", "Exp", "Log", "Trigonometry":
+		in, err := e.in(s, b.ID, 0, model.Float64)
+		if err != nil {
+			return err
+		}
+		fn := map[string]string{"Sqrt": "sqrt", "Exp": "exp", "Log": "log"}[b.Kind]
+		if b.Kind == "Trigonometry" {
+			fn = b.Params.String("Fn", "sin")
+		}
+		set(unaryMath(fn, model.Float64, in).Cast(outDT))
+
+	case "Rounding":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		if !outDT.IsFloat() {
+			set(in)
+			break
+		}
+		set(unaryMath(b.Params.String("Fn", "round"), outDT, in))
+
+	case "Quantizer":
+		in, err := e.in(s, b.ID, 0, model.Float64)
+		if err != nil {
+			return err
+		}
+		q := FromFloat(model.Float64, b.Params.Float("Interval", 1))
+		r := unaryMath("round", model.Float64, arith('/', model.Float64, in, q))
+		set(arith('*', model.Float64, r, q).Cast(outDT))
+
+	case "Saturation":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		lo := FromFloat(outDT, b.Params.Float("Lower", 0))
+		hi := FromFloat(outDT, b.Params.Float("Upper", 1))
+		switch {
+		case compare("<", outDT, in, lo):
+			e.probe(decs[0], 0)
+			set(lo)
+		case compare(">", outDT, in, hi):
+			e.probe(decs[0], 2)
+			set(hi)
+		default:
+			e.probe(decs[0], 1)
+			set(in)
+		}
+
+	case "DeadZone":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		start := FromFloat(outDT, b.Params.Float("Start", -1))
+		end := FromFloat(outDT, b.Params.Float("End", 1))
+		switch {
+		case compare("<", outDT, in, start):
+			e.probe(decs[0], 0)
+			set(arith('-', outDT, in, start))
+		case compare(">", outDT, in, end):
+			e.probe(decs[0], 2)
+			set(arith('-', outDT, in, end))
+		default:
+			e.probe(decs[0], 1)
+			set(FromFloat(outDT, 0))
+		}
+
+	case "RateLimiter":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, b.Params.Float("Init", 0))}
+		}
+		prev := st.vals[0]
+		delta := arith('-', outDT, in, prev)
+		rising := FromFloat(outDT, b.Params.Float("Rising", 1))
+		falling := FromFloat(outDT, b.Params.Float("Falling", -1))
+		var res Value
+		switch {
+		case compare(">", outDT, delta, rising):
+			e.probe(decs[0], 0)
+			res = arith('+', outDT, prev, rising)
+		case compare("<", outDT, delta, falling):
+			e.probe(decs[0], 2)
+			res = arith('+', outDT, prev, falling)
+		default:
+			e.probe(decs[0], 1)
+			res = in
+		}
+		st.vals[0] = res
+		set(res)
+
+	case "Relay":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromBool(b.Params.Float("InitialOn", 0) != 0)}
+		}
+		on := st.vals[0].Bool()
+		var newOn bool
+		if on {
+			newOn = compare(">", outDT, in, FromFloat(outDT, b.Params.Float("OffPoint", 0)))
+		} else {
+			newOn = compare(">=", outDT, in, FromFloat(outDT, b.Params.Float("OnPoint", 1)))
+		}
+		e.probePair(decs[0], newOn)
+		st.vals[0] = FromBool(newOn)
+		if newOn {
+			set(FromFloat(outDT, b.Params.Float("OnValue", 1)))
+		} else {
+			set(FromFloat(outDT, b.Params.Float("OffValue", 0)))
+		}
+
+	case "DataTypeConversion", "ZeroOrderHold":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		set(in)
+
+	case "Lookup1D":
+		in, err := e.in(s, b.ID, 0, model.Float64)
+		if err != nil {
+			return err
+		}
+		bp := b.Params.Floats("Breakpoints", nil)
+		tab := b.Params.Floats("Table", nil)
+		x := in.F()
+		n := len(bp)
+		var r float64
+		switch {
+		case x < bp[0]:
+			e.probe(decs[0], 0)
+			r = tab[0]
+		case x >= bp[n-1]:
+			e.probe(decs[0], n)
+			r = tab[n-1]
+		default:
+			for k := 0; k+1 < n; k++ {
+				if x < bp[k+1] {
+					e.probe(decs[0], k+1)
+					slope := 0.0
+					if bp[k+1] != bp[k] {
+						slope = (tab[k+1] - tab[k]) / (bp[k+1] - bp[k])
+					}
+					r = tab[k] + (x-bp[k])*slope
+					break
+				}
+			}
+		}
+		set(FromFloat(model.Float64, r).Cast(outDT))
+
+	case "Sum":
+		signs := b.Params.String("Signs", "++")
+		var acc Value
+		first := true
+		for i, sign := range signs {
+			in, err := e.in(s, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			switch {
+			case first && sign == '+':
+				acc = in
+			case first:
+				acc = neg(outDT, in)
+			case sign == '+':
+				acc = arith('+', outDT, acc, in)
+			default:
+				acc = arith('-', outDT, acc, in)
+			}
+			first = false
+		}
+		set(acc)
+
+	case "Product":
+		ops := b.Params.String("Ops", "**")
+		var acc Value
+		first := true
+		for i, op := range ops {
+			in, err := e.in(s, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			switch {
+			case first && op == '*':
+				acc = in
+			case first:
+				acc = arith('/', outDT, FromFloat(outDT, 1), in)
+			case op == '*':
+				acc = arith('*', outDT, acc, in)
+			default:
+				acc = arith('/', outDT, acc, in)
+			}
+			first = false
+		}
+		set(acc)
+
+	case "MinMax":
+		n := gi.InCount[b.ID]
+		op := "<"
+		if b.Params.String("Fn", "min") == "max" {
+			op = ">"
+		}
+		best, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		idx := 0
+		for i := 1; i < n; i++ {
+			in, err := e.in(s, b.ID, i, outDT)
+			if err != nil {
+				return err
+			}
+			if compare(op, outDT, in, best) {
+				best = in
+				idx = i
+			}
+		}
+		if len(decs) > 0 {
+			e.probe(decs[0], idx)
+		}
+		set(best)
+
+	case "RelationalOperator":
+		t := promote2(gi.InType(b.ID, 0), gi.InType(b.ID, 1))
+		x, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		y, err := e.val(s, b.ID, 1)
+		if err != nil {
+			return err
+		}
+		set(FromBool(compare(b.Params.String("Op", "=="), t, x, y)))
+
+	case "CompareToConstant":
+		t := gi.InType(b.ID, 0)
+		x, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		set(FromBool(compare(b.Params.String("Op", "=="), t, x, FromFloat(t, b.Params.Float("Value", 0)))))
+
+	case "CompareToZero":
+		t := gi.InType(b.ID, 0)
+		x, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		set(FromBool(compare(b.Params.String("Op", "=="), t, x, FromFloat(t, 0))))
+
+	case "LogicalOperator":
+		n := gi.InCount[b.ID]
+		conds := e.ix.BlockConds[b]
+		vals := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v, err := e.val(s, b.ID, i)
+			if err != nil {
+				return err
+			}
+			vals[i] = v.Bool()
+			if i < len(conds) {
+				e.condProbe(conds[i], vals[i])
+			}
+		}
+		var res bool
+		switch op := b.Params.String("Op", "AND"); op {
+		case "NOT":
+			res = !vals[0]
+		case "AND", "NAND":
+			res = true
+			for _, v := range vals {
+				res = res && v
+			}
+			if op == "NAND" {
+				res = !res
+			}
+		case "OR", "NOR":
+			for _, v := range vals {
+				res = res || v
+			}
+			if op == "NOR" {
+				res = !res
+			}
+		case "XOR":
+			for _, v := range vals {
+				res = res != v
+			}
+		default:
+			return fmt.Errorf("interp: %s/%s: unknown logic Op %q", gi.Path, b.Name, op)
+		}
+		e.probePair(decs[0], res)
+		set(FromBool(res))
+
+	case "Bitwise":
+		t := gi.InType(b.ID, 0)
+		x, err := e.in(s, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		y, err := e.in(s, b.ID, 1, t)
+		if err != nil {
+			return err
+		}
+		xi, yi := x.I(), y.I()
+		var r int64
+		switch b.Params.String("Op", "AND") {
+		case "AND":
+			r = xi & yi
+		case "OR":
+			r = xi | yi
+		case "XOR":
+			r = xi ^ yi
+		case "SHL":
+			r = xi << (uint(yi) & 31)
+		case "SHR":
+			r = xi >> (uint(yi) & 31)
+		}
+		set(FromInt(t, r))
+
+	case "Switch":
+		ctrlT := gi.InType(b.ID, 1)
+		ctrl, err := e.val(s, b.ID, 1)
+		if err != nil {
+			return err
+		}
+		var cond bool
+		switch crit := b.Params.String("Criteria", "~=0"); crit {
+		case "~=0":
+			cond = ctrl.Bool()
+		case ">=":
+			cond = compare(">=", model.Float64, ctrl.Cast(model.Float64), FromFloat(model.Float64, b.Params.Float("Threshold", 0)))
+		case ">":
+			cond = compare(">", model.Float64, ctrl.Cast(model.Float64), FromFloat(model.Float64, b.Params.Float("Threshold", 0)))
+		default:
+			return fmt.Errorf("interp: %s/%s: unknown criteria %q", gi.Path, b.Name, crit)
+		}
+		_ = ctrlT
+		e.probePair(decs[0], cond)
+		port := 2
+		if cond {
+			port = 0
+		}
+		v, err := e.in(s, b.ID, port, outDT)
+		if err != nil {
+			return err
+		}
+		set(v)
+
+	case "MultiportSwitch":
+		n := int(b.Params.Int("Inputs", 2))
+		idxV, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		idx := int(idxV.Cast(model.Int32).I())
+		if idx < 1 {
+			idx = 1
+		}
+		if idx > n {
+			idx = n
+		}
+		e.probe(decs[0], idx-1)
+		v, err := e.in(s, b.ID, idx, outDT)
+		if err != nil {
+			return err
+		}
+		set(v)
+
+	case "Merge":
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, b.Params.Float("Init", 0))}
+		}
+		set(st.vals[0])
+
+	case "UnitDelay", "Memory":
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, b.Params.Float("Init", 0))}
+		}
+		set(st.vals[0])
+		s.deferred = append(s.deferred, func() error {
+			in, err := e.in(s, b.ID, 0, outDT)
+			if err != nil {
+				return err
+			}
+			st.vals[0] = in
+			return nil
+		})
+
+	case "Delay":
+		steps := int(b.Params.Int("Steps", 1))
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = make([]Value, steps)
+			for i := range st.vals {
+				st.vals[i] = FromFloat(outDT, b.Params.Float("Init", 0))
+			}
+		}
+		set(st.vals[0])
+		s.deferred = append(s.deferred, func() error {
+			in, err := e.in(s, b.ID, 0, outDT)
+			if err != nil {
+				return err
+			}
+			copy(st.vals, st.vals[1:])
+			st.vals[steps-1] = in
+			return nil
+		})
+
+	case "DiscreteIntegrator":
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, b.Params.Float("Init", 0))}
+		}
+		set(st.vals[0])
+		s.deferred = append(s.deferred, func() error {
+			in, err := e.in(s, b.ID, 0, outDT)
+			if err != nil {
+				return err
+			}
+			k := b.Params.Float("K", 1) * e.design.Model.SampleTime
+			next := arith('+', outDT, st.vals[0], arith('*', outDT, in, FromFloat(outDT, k)))
+			if _, bounded := b.Params["Lower"]; bounded {
+				lo := FromFloat(outDT, b.Params.Float("Lower", 0))
+				hi := FromFloat(outDT, b.Params.Float("Upper", 1))
+				switch {
+				case compare("<", outDT, next, lo):
+					e.probe(decs[0], 0)
+					next = lo
+				case compare(">", outDT, next, hi):
+					e.probe(decs[0], 2)
+					next = hi
+				default:
+					e.probe(decs[0], 1)
+				}
+			}
+			st.vals[0] = next
+			return nil
+		})
+
+	case "DetectChange", "DetectIncrease", "DetectDecrease":
+		t := gi.InType(b.ID, 0)
+		in, err := e.in(s, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(t, b.Params.Float("Init", 0))}
+		}
+		prev := st.vals[0]
+		var res bool
+		switch b.Kind {
+		case "DetectChange":
+			res = compare("~=", t, in, prev)
+		case "DetectIncrease":
+			res = compare(">", t, in, prev)
+		default:
+			res = compare("<", t, in, prev)
+		}
+		st.vals[0] = in
+		e.probePair(decs[0], res)
+		set(FromBool(res))
+
+	case "IntervalTest":
+		t := gi.InType(b.ID, 0)
+		in, err := e.in(s, b.ID, 0, t)
+		if err != nil {
+			return err
+		}
+		inside := compare(">=", t, in, FromFloat(t, b.Params.Float("Lo", 0))) &&
+			compare("<=", t, in, FromFloat(t, b.Params.Float("Hi", 1)))
+		e.probePair(decs[0], inside)
+		set(FromBool(inside))
+
+	case "Backlash":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		st := e.state(b)
+		if st.vals == nil {
+			st.vals = []Value{FromFloat(outDT, b.Params.Float("Init", 0))}
+		}
+		half := FromFloat(outDT, b.Params.Float("Width", 1)/2)
+		y := st.vals[0]
+		var res Value
+		switch {
+		case compare(">", outDT, in, arith('+', outDT, y, half)):
+			e.probe(decs[0], 2)
+			res = arith('-', outDT, in, half)
+		case compare("<", outDT, in, arith('-', outDT, y, half)):
+			e.probe(decs[0], 0)
+			res = arith('+', outDT, in, half)
+		default:
+			e.probe(decs[0], 1)
+			res = y
+		}
+		st.vals[0] = res
+		set(res)
+
+	case "WrapToZero":
+		in, err := e.in(s, b.ID, 0, outDT)
+		if err != nil {
+			return err
+		}
+		wrapped := compare(">", outDT, in, FromFloat(outDT, b.Params.Float("Threshold", 255)))
+		e.probePair(decs[0], wrapped)
+		if wrapped {
+			set(FromFloat(outDT, 0))
+		} else {
+			set(in)
+		}
+
+	case "Assertion":
+		in, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		e.probePair(decs[0], in.Bool())
+
+	case "If":
+		return e.evalIf(s, b, decs)
+
+	case "SwitchCase":
+		return e.evalSwitchCase(s, b, decs)
+
+	case "Subsystem":
+		inner, err := e.subsystemScope(s, b)
+		if err != nil {
+			return err
+		}
+		if err := e.evalGraph(inner); err != nil {
+			return err
+		}
+		return e.pullOutputs(s, b, inner)
+
+	case "EnabledSubsystem":
+		ctrlT := gi.InType(b.ID, 0)
+		ctrl, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		en := compare(">", ctrlT, ctrl, FromFloat(ctrlT, 0))
+		e.probePair(decs[0], en)
+		return e.evalConditional(s, b, en)
+
+	case "TriggeredSubsystem":
+		ctrlT := gi.InType(b.ID, 0)
+		ctrl, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		high := compare(">", ctrlT, ctrl, FromFloat(ctrlT, 0))
+		st := e.state(b)
+		if st.env == nil {
+			st.env = map[string]Value{"prev": FromBool(false)}
+		}
+		fired := high && !st.env["prev"].Bool()
+		st.env["prev"] = FromBool(high)
+		e.probePair(decs[0], fired)
+		return e.evalConditional(s, b, fired)
+
+	case "ActionSubsystem":
+		action, err := e.val(s, b.ID, 0)
+		if err != nil {
+			return err
+		}
+		return e.evalConditional(s, b, action.Bool())
+
+	case "MatlabFunction":
+		return e.evalMatlabFunction(s, b)
+
+	case "Chart":
+		return e.evalChart(s, b)
+
+	default:
+		if custom, ok := customEvaluators[b.Kind]; ok {
+			return custom(e, s, b)
+		}
+		return fmt.Errorf("interp: %s/%s: no evaluator for kind %s", gi.Path, b.Name, b.Kind)
+	}
+	return nil
+}
+
+func promote2(a, b model.DType) model.DType {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// subsystemScope binds inner inports from the outer scope.
+func (e *Engine) subsystemScope(s *scope, b *model.Block) (*scope, error) {
+	child := s.gi.Children[b.ID]
+	inner := &scope{gi: child, vals: map[model.PortRef]Value{}}
+	ctrl := blocks.ControlPorts(b.Kind)
+	for _, ip := range child.Graph.BlocksOfKind("Inport") {
+		outerPort := int(ip.Params.Int("Index", 1)) - 1 + ctrl
+		want := child.OutType[model.PortRef{Block: ip.ID, Port: 0}]
+		v, err := e.in(s, b.ID, outerPort, want)
+		if err != nil {
+			return nil, err
+		}
+		inner.vals[model.PortRef{Block: ip.ID, Port: 0}] = v
+	}
+	return inner, nil
+}
+
+// pullOutputs reads inner outport values into the subsystem's output ports.
+func (e *Engine) pullOutputs(s *scope, b *model.Block, inner *scope) error {
+	for _, op := range inner.gi.Graph.BlocksOfKind("Outport") {
+		idx := int(op.Params.Int("Index", 1)) - 1
+		want := s.gi.OutType[model.PortRef{Block: b.ID, Port: idx}]
+		src, ok := inner.gi.Source[model.PortRef{Block: op.ID, Port: 0}]
+		if !ok {
+			return fmt.Errorf("interp: %s/%s: outport unconnected", inner.gi.Path, op.Name)
+		}
+		v, ok := inner.vals[src]
+		if !ok {
+			return fmt.Errorf("interp: %s/%s: outport driver not computed", inner.gi.Path, op.Name)
+		}
+		s.vals[model.PortRef{Block: b.ID, Port: idx}] = v.Cast(want)
+	}
+	return nil
+}
+
+// evalConditional runs a conditionally-executed subsystem: when active it
+// executes the body and latches outputs (and Merge targets); when inactive
+// the outputs hold.
+func (e *Engine) evalConditional(s *scope, b *model.Block, active bool) error {
+	child := s.gi.Children[b.ID]
+	st := e.state(b)
+	nout := s.gi.OutCount[b.ID]
+	if st.vals == nil {
+		st.vals = make([]Value, nout)
+		for _, op := range child.Graph.BlocksOfKind("Outport") {
+			idx := int(op.Params.Int("Index", 1)) - 1
+			dt := s.gi.OutType[model.PortRef{Block: b.ID, Port: idx}]
+			st.vals[idx] = FromFloat(dt, op.Params.Float("Init", 0))
+		}
+	}
+	if active {
+		inner, err := e.subsystemScope(s, b)
+		if err != nil {
+			return err
+		}
+		if err := e.evalGraph(inner); err != nil {
+			return err
+		}
+		tmp := &scope{gi: s.gi, vals: map[model.PortRef]Value{}}
+		if err := e.pullOutputs(tmp, b, inner); err != nil {
+			return err
+		}
+		for i := 0; i < nout; i++ {
+			st.vals[i] = tmp.vals[model.PortRef{Block: b.ID, Port: i}]
+		}
+		// Write Merge targets fed by this subsystem.
+		for i := 0; i < nout; i++ {
+			for _, dst := range s.gi.Graph.FanOut(model.PortRef{Block: b.ID, Port: i}) {
+				mb := s.gi.Graph.Block(dst.Block)
+				if mb.Kind == "Merge" {
+					mst := e.state(mb)
+					mdt := s.gi.OutType[model.PortRef{Block: mb.ID, Port: 0}]
+					if mst.vals == nil {
+						mst.vals = []Value{FromFloat(mdt, mb.Params.Float("Init", 0))}
+					}
+					mst.vals[0] = st.vals[i].Cast(mdt)
+				}
+			}
+		}
+	}
+	for i := 0; i < nout; i++ {
+		s.vals[model.PortRef{Block: b.ID, Port: i}] = st.vals[i]
+	}
+	return nil
+}
+
+// evalIf executes the if/elseif/else cascade (probing each decision only
+// when reached, like the generated code).
+func (e *Engine) evalIf(s *scope, b *model.Block, decs []int) error {
+	exprs := e.design.IfConds[b]
+	n := s.gi.InCount[b.ID]
+	env := map[string]Value{}
+	for i := 0; i < n; i++ {
+		v, err := e.val(s, b.ID, i)
+		if err != nil {
+			return err
+		}
+		env[fmt.Sprintf("u%d", i+1)] = v
+	}
+	taken := len(exprs) // default: else branch
+	for i, expr := range exprs {
+		c, err := e.evalCondExpr(env, expr)
+		if err != nil {
+			return err
+		}
+		e.probePair(decs[i], c)
+		if c {
+			taken = i
+			break
+		}
+	}
+	for i := 0; i <= len(exprs); i++ {
+		s.vals[model.PortRef{Block: b.ID, Port: i}] = FromBool(i == taken)
+	}
+	return nil
+}
+
+// evalSwitchCase executes the integer case dispatch.
+func (e *Engine) evalSwitchCase(s *scope, b *model.Block, decs []int) error {
+	cases := b.Params.Ints("Cases", nil)
+	v, err := e.val(s, b.ID, 0)
+	if err != nil {
+		return err
+	}
+	x := v.Cast(model.Int32).I()
+	taken := len(cases)
+	for k, cv := range cases {
+		if x == cv {
+			taken = k
+			break
+		}
+	}
+	e.probe(decs[0], taken)
+	for i := 0; i <= len(cases); i++ {
+		s.vals[model.PortRef{Block: b.ID, Port: i}] = FromBool(i == taken)
+	}
+	return nil
+}
+
+// CustomEvaluator executes a user-registered block kind in the engine.
+type CustomEvaluator func(ctx *EvalContext, b *model.Block) error
+
+var customEvaluators = map[string]func(e *Engine, s *scope, b *model.Block) error{}
+
+// RegisterEvaluator installs interpretation for a custom block kind.
+func RegisterEvaluator(kind string, fn CustomEvaluator) {
+	customEvaluators[kind] = func(e *Engine, s *scope, b *model.Block) error {
+		return fn(&EvalContext{e: e, s: s}, b)
+	}
+}
+
+// EvalContext is the limited evaluation API exposed to custom blocks.
+type EvalContext struct {
+	e *Engine
+	s *scope
+}
+
+// Input returns input port p cast to want.
+func (c *EvalContext) Input(b *model.Block, p int, want model.DType) (Value, error) {
+	return c.e.in(c.s, b.ID, p, want)
+}
+
+// OutputType returns the resolved type of output port p.
+func (c *EvalContext) OutputType(b *model.Block, p int) model.DType {
+	return c.s.gi.OutType[model.PortRef{Block: b.ID, Port: p}]
+}
+
+// SetOutput binds output port p.
+func (c *EvalContext) SetOutput(b *model.Block, p int, v Value) {
+	c.s.vals[model.PortRef{Block: b.ID, Port: p}] = v
+}
+
+// State returns the block's persistent value slots, creating them with the
+// given initializer on first use.
+func (c *EvalContext) State(b *model.Block, init func() []Value) []Value {
+	st := c.e.state(b)
+	if st.vals == nil {
+		st.vals = init()
+	}
+	return st.vals
+}

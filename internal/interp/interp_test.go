@@ -1,0 +1,141 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/model"
+)
+
+func TestValueHelpers(t *testing.T) {
+	v := FromInt(model.Int16, -300)
+	if v.I() != -300 || v.DT != model.Int16 {
+		t.Errorf("FromInt: %+v", v)
+	}
+	f := FromFloat(model.Float32, 1.5)
+	if f.F() != 1.5 {
+		t.Errorf("FromFloat: %v", f.F())
+	}
+	if !FromBool(true).Bool() || FromBool(false).Bool() {
+		t.Error("FromBool")
+	}
+	c := FromFloat(model.Float64, 300.7).Cast(model.Int8)
+	if c.I() != 127 {
+		t.Errorf("cast clamps: %d", c.I())
+	}
+}
+
+// Property: interp's arith agrees with model.Encode-based reference for
+// integer add/sub/mul across types (an independent check from the VM
+// differential, exercising the Value layer directly).
+func TestArithAgainstReference(t *testing.T) {
+	prop := func(x, y int32) bool {
+		for _, dt := range []model.DType{model.Int8, model.UInt8, model.Int16, model.Int32, model.UInt32} {
+			a := FromInt(dt, int64(x))
+			b := FromInt(dt, int64(y))
+			av, bv := a.I(), b.I()
+			if arith('+', dt, a, b).Raw != model.EncodeInt(dt, av+bv) {
+				return false
+			}
+			if arith('-', dt, a, b).Raw != model.EncodeInt(dt, av-bv) {
+				return false
+			}
+			if arith('*', dt, a, b).Raw != model.EncodeInt(dt, av*bv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionTotality(t *testing.T) {
+	z := FromInt(model.Int32, 0)
+	x := FromInt(model.Int32, 9)
+	if arith('/', model.Int32, x, z).I() != 0 {
+		t.Error("int x/0 must be 0")
+	}
+	fz := FromFloat(model.Float64, 0)
+	fx := FromFloat(model.Float64, 9)
+	if arith('/', model.Float64, fx, fz).F() != 0 {
+		t.Error("float x/0 must be 0")
+	}
+}
+
+func TestUnaryMathMatchesSpec(t *testing.T) {
+	if unaryMath("sqrt", model.Float64, FromFloat(model.Float64, -1)).F() != 0 {
+		t.Error("sqrt(-1) must be 0")
+	}
+	if unaryMath("log", model.Float64, FromFloat(model.Float64, 0)).F() != 0 {
+		t.Error("log(0) must be 0")
+	}
+	if got := unaryMath("round", model.Float64, FromFloat(model.Float64, 2.5)).F(); got != 3 {
+		t.Errorf("round-half-away: %v", got)
+	}
+	if got := unaryMath("fix", model.Float64, FromFloat(model.Float64, -2.7)).F(); got != -2 {
+		t.Errorf("fix truncates: %v", got)
+	}
+}
+
+// TestSignalDictionary: the engine publishes every computed output port
+// into the per-step signal dictionary — the observable a simulation UI
+// (and SimCoTest's feature extraction) reads.
+func TestSignalDictionary(t *testing.T) {
+	b := model.NewBuilder("Sig")
+	x := b.Inport("x", model.Float64)
+	g := b.Gain(x, 3)
+	b.Outport("o", model.Float64, g)
+	c, err := codegen.Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(c.Design, c.Plan, c.Index, nil)
+	if err := eng.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step([]uint64{model.EncodeFloat(model.Float64, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for name, v := range eng.Signals {
+		if v.DT == model.Float64 && v.F() == 6 {
+			found = true
+			_ = name
+		}
+	}
+	if !found {
+		t.Errorf("gain output missing from signal dictionary: %v", eng.Signals)
+	}
+}
+
+func TestEngineRejectsWrongInputCount(t *testing.T) {
+	b := model.NewBuilder("W")
+	x := b.Inport("x", model.Float64)
+	b.Outport("o", model.Float64, b.Gain(x, 1))
+	c, err := codegen.Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(c.Design, c.Plan, c.Index, nil)
+	if err := eng.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step([]uint64{1, 2}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+}
+
+func TestCompareNaNBehaviour(t *testing.T) {
+	nan := FromFloat(model.Float64, math.NaN())
+	one := FromFloat(model.Float64, 1)
+	if compare("<", model.Float64, nan, one) || compare(">=", model.Float64, nan, one) {
+		t.Error("NaN comparisons must be false")
+	}
+	if !compare("~=", model.Float64, nan, one) {
+		t.Error("NaN != x must be true")
+	}
+}

@@ -1,0 +1,369 @@
+package interp
+
+import (
+	"fmt"
+
+	"cftcg/internal/mlfunc"
+	"cftcg/internal/model"
+)
+
+// evalExpr evaluates an mlfunc expression over an environment of boxed
+// values, returning a value of e.Type(). Mirrors codegen's lowering rules.
+func (e *Engine) evalExpr(env map[string]Value, ex mlfunc.Expr) (Value, error) {
+	switch x := ex.(type) {
+	case *mlfunc.Lit:
+		return FromFloat(x.T, x.Val), nil
+
+	case *mlfunc.Ref:
+		v, ok := env[x.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("interp: script references unknown variable %q", x.Name)
+		}
+		return v, nil
+
+	case *mlfunc.Unary:
+		switch x.Op {
+		case "-":
+			v, err := e.evalExpr(env, x.X)
+			if err != nil {
+				return Value{}, err
+			}
+			return neg(x.T, v.Cast(x.T)), nil
+		case "!", "~":
+			b, err := e.evalCondExpr(env, x.X)
+			if err != nil {
+				return Value{}, err
+			}
+			return FromBool(!b), nil
+		}
+		return Value{}, fmt.Errorf("interp: unknown unary op %q", x.Op)
+
+	case *mlfunc.Binary:
+		if mlfunc.IsBoolOp(x.Op) {
+			a, err := e.evalCondExpr(env, x.X)
+			if err != nil {
+				return Value{}, err
+			}
+			b, err := e.evalCondExpr(env, x.Y)
+			if err != nil {
+				return Value{}, err
+			}
+			if x.Op == "&&" {
+				return FromBool(a && b), nil
+			}
+			return FromBool(a || b), nil
+		}
+		a, err := e.evalExpr(env, x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := e.evalExpr(env, x.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		if mlfunc.IsRelOp(x.Op) {
+			t := mlfunc.Promote(x.X.Type(), x.Y.Type())
+			return FromBool(compare(x.Op, t, a, b)), nil
+		}
+		return arith(x.Op[0], x.T, a.Cast(x.T), b.Cast(x.T)), nil
+
+	case *mlfunc.Call:
+		args := make([]Value, len(x.Args))
+		for i, arg := range x.Args {
+			v, err := e.evalExpr(env, arg)
+			if err != nil {
+				return Value{}, err
+			}
+			args[i] = v.Cast(x.T)
+		}
+		switch x.Fn {
+		case "abs":
+			return absV(x.T, args[0]), nil
+		case "min":
+			return arith('m', x.T, args[0], args[1]), nil
+		case "max":
+			return arith('M', x.T, args[0], args[1]), nil
+		case "sat":
+			lo := arith('M', x.T, args[0], args[1])
+			return arith('m', x.T, lo, args[2]), nil
+		}
+		return Value{}, fmt.Errorf("interp: unknown builtin %q", x.Fn)
+	}
+	return Value{}, fmt.Errorf("interp: unknown expression %T", ex)
+}
+
+// evalCondExpr evaluates a decision expression eagerly, probing registered
+// leaf conditions — identical structure to codegen's evalCond.
+func (e *Engine) evalCondExpr(env map[string]Value, ex mlfunc.Expr) (bool, error) {
+	switch x := ex.(type) {
+	case *mlfunc.Binary:
+		if mlfunc.IsBoolOp(x.Op) {
+			a, err := e.evalCondExpr(env, x.X)
+			if err != nil {
+				return false, err
+			}
+			b, err := e.evalCondExpr(env, x.Y)
+			if err != nil {
+				return false, err
+			}
+			if x.Op == "&&" {
+				return a && b, nil
+			}
+			return a || b, nil
+		}
+	case *mlfunc.Unary:
+		if x.Op == "!" || x.Op == "~" {
+			b, err := e.evalCondExpr(env, x.X)
+			if err != nil {
+				return false, err
+			}
+			return !b, nil
+		}
+	}
+	v, err := e.evalExpr(env, ex)
+	if err != nil {
+		return false, err
+	}
+	b := v.Bool()
+	if condID, ok := e.ix.ExprCond[ex]; ok {
+		e.condProbe(condID, b)
+	}
+	return b, nil
+}
+
+// execStmts interprets a statement list, mutating env in place.
+func (e *Engine) execStmts(env map[string]Value, stmts []mlfunc.Stmt) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *mlfunc.Assign:
+			cur, ok := env[st.Name]
+			if !ok {
+				return fmt.Errorf("interp: assignment to unknown variable %q", st.Name)
+			}
+			v, err := e.evalExpr(env, st.Rhs)
+			if err != nil {
+				return err
+			}
+			env[st.Name] = v.Cast(cur.DT)
+
+		case *mlfunc.If:
+			c, err := e.evalCondExpr(env, st.Cond)
+			if err != nil {
+				return err
+			}
+			if decID, ok := e.ix.StmtDecision[st]; ok {
+				e.probePair(decID, c)
+			}
+			if c {
+				if err := e.execStmts(env, st.Then); err != nil {
+					return err
+				}
+			} else if len(st.Else) > 0 {
+				if err := e.execStmts(env, st.Else); err != nil {
+					return err
+				}
+			}
+
+		case *mlfunc.While:
+			for iter := 0; iter < mlfunc.MaxWhileIter; iter++ {
+				c, err := e.evalCondExpr(env, st.Cond)
+				if err != nil {
+					return err
+				}
+				if decID, ok := e.ix.StmtDecision2[st]; ok {
+					e.probePair(decID, c)
+				}
+				if !c {
+					break
+				}
+				if err := e.execStmts(env, st.Body); err != nil {
+					return err
+				}
+			}
+
+		case *mlfunc.For:
+			for i := int64(0); i < st.Count; i++ {
+				env[st.Var] = FromInt(model.Int32, i)
+				if err := e.execStmts(env, st.Body); err != nil {
+					return err
+				}
+			}
+			delete(env, st.Var)
+
+		default:
+			return fmt.Errorf("interp: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+// evalMatlabFunction executes a MATLAB Function block: inputs from ports,
+// outputs/locals reset per step, states persisted in the block's env.
+func (e *Engine) evalMatlabFunction(s *scope, b *model.Block) error {
+	f := e.design.Funcs[b]
+	st := e.state(b)
+	if st.env == nil {
+		st.env = map[string]Value{}
+		for _, d := range f.States() {
+			st.env[d.Name] = FromFloat(d.Type, d.Init)
+		}
+	}
+	env := map[string]Value{}
+	for i, d := range f.Inputs() {
+		v, err := e.in(s, b.ID, i, d.Type)
+		if err != nil {
+			return err
+		}
+		env[d.Name] = v
+	}
+	for _, d := range f.Outputs() {
+		env[d.Name] = FromFloat(d.Type, d.Init)
+	}
+	for _, d := range f.Locals() {
+		env[d.Name] = FromFloat(d.Type, d.Init)
+	}
+	for _, d := range f.States() {
+		env[d.Name] = st.env[d.Name]
+	}
+
+	if err := e.execStmts(env, f.Body); err != nil {
+		return err
+	}
+
+	for _, d := range f.States() {
+		st.env[d.Name] = env[d.Name]
+	}
+	for i, d := range f.Outputs() {
+		s.vals[model.PortRef{Block: b.ID, Port: i}] = env[d.Name]
+	}
+	return nil
+}
+
+// initChart establishes a chart's initial configuration (descending through
+// default children) and runs the entry actions outermost-first with inputs
+// read as typed zeros — matching the generated model_init().
+func (e *Engine) initChart(b *model.Block) error {
+	ci := e.design.Charts[b]
+	c := ci.Chart
+	st := e.state(b)
+	descend, err := c.DefaultDescend(c.Initial)
+	if err != nil {
+		return err
+	}
+	chain := append(c.PathFromRoot(c.Initial), descend...)
+	st.active = c.LeafIndex(chain[len(chain)-1].Name)
+	st.env = map[string]Value{}
+	for _, v := range c.Outputs {
+		st.env[v.Name] = FromFloat(v.Type, v.Init)
+	}
+	for _, v := range c.Locals {
+		st.env[v.Name] = FromFloat(v.Type, v.Init)
+	}
+	env := map[string]Value{}
+	for _, v := range c.Inputs {
+		env[v.Name] = FromFloat(v.Type, 0)
+	}
+	for k, v := range st.env {
+		env[k] = v
+	}
+	for _, s := range chain {
+		if entry := ci.Entry[s]; entry != nil {
+			if err := e.execStmts(env, entry); err != nil {
+				return err
+			}
+		}
+	}
+	for k := range st.env {
+		st.env[k] = env[k]
+	}
+	return nil
+}
+
+// evalChart executes one chart step: evaluate the active configuration's
+// candidate transitions outer-first (probing each), fire at most one
+// (exits innermost-first → transition action → entries outermost-first,
+// descending composite targets), otherwise run the during actions
+// outermost-first.
+func (e *Engine) evalChart(s *scope, b *model.Block) error {
+	ci := e.design.Charts[b]
+	c := ci.Chart
+	st := e.state(b)
+	if st.env == nil {
+		if err := e.initChart(b); err != nil {
+			return err
+		}
+	}
+
+	env := map[string]Value{}
+	for i, v := range c.Inputs {
+		in, err := e.in(s, b.ID, i, v.Type)
+		if err != nil {
+			return err
+		}
+		env[v.Name] = in
+	}
+	for k, v := range st.env {
+		env[k] = v
+	}
+
+	leaf := c.Leaves()[st.active]
+	fired := false
+	for _, t := range c.CandidateTransitions(leaf.Name) {
+		decID := e.ix.TransDecision[t]
+		g := true
+		if guard := ci.Guards[t]; guard != nil {
+			var err error
+			g, err = e.evalCondExpr(env, guard)
+			if err != nil {
+				return err
+			}
+		}
+		e.probePair(decID, g)
+		if !g {
+			continue
+		}
+		plan, err := c.PlanFire(leaf.Name, t)
+		if err != nil {
+			return err
+		}
+		for _, x := range plan.Exits {
+			if exit := ci.Exit[x]; exit != nil {
+				if err := e.execStmts(env, exit); err != nil {
+					return err
+				}
+			}
+		}
+		if act := ci.TransActs[t]; act != nil {
+			if err := e.execStmts(env, act); err != nil {
+				return err
+			}
+		}
+		st.active = c.LeafIndex(plan.NewLeaf.Name)
+		for _, en := range plan.Entries {
+			if entry := ci.Entry[en]; entry != nil {
+				if err := e.execStmts(env, entry); err != nil {
+					return err
+				}
+			}
+		}
+		fired = true
+		break
+	}
+	if !fired {
+		for _, x := range c.PathFromRoot(leaf.Name) {
+			if during := ci.During[x]; during != nil {
+				if err := e.execStmts(env, during); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for k := range st.env {
+		st.env[k] = env[k]
+	}
+	for i, v := range c.Outputs {
+		s.vals[model.PortRef{Block: b.ID, Port: i}] = st.env[v.Name]
+	}
+	return nil
+}

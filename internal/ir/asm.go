@@ -1,0 +1,159 @@
+package ir
+
+import "cftcg/internal/model"
+
+// Asm is a small assembler used by the code generator: it allocates
+// registers, emits instructions, and patches forward jump targets. Multiple
+// assemblers (the init and step functions) share one register counter so the
+// machine allocates a single register file.
+type Asm struct {
+	Instrs []Instr
+	regs   *int32
+}
+
+// NewAsm returns an empty assembler drawing registers from the shared
+// counter.
+func NewAsm(regs *int32) *Asm { return &Asm{regs: regs} }
+
+// Reg allocates a fresh register.
+func (a *Asm) Reg() int32 {
+	r := *a.regs
+	*a.regs++
+	return r
+}
+
+// PC returns the next instruction address.
+func (a *Asm) PC() int { return len(a.Instrs) }
+
+// Emit appends an instruction and returns its address.
+func (a *Asm) Emit(in Instr) int {
+	a.Instrs = append(a.Instrs, in)
+	return len(a.Instrs) - 1
+}
+
+// Const emits dst = raw constant of type dt into a fresh register.
+func (a *Asm) Const(dt model.DType, raw uint64) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpConst, DT: dt, Dst: dst, Imm: raw})
+	return dst
+}
+
+// ConstVal emits a constant from a numeric value.
+func (a *Asm) ConstVal(dt model.DType, v float64) int32 {
+	return a.Const(dt, model.Encode(dt, v))
+}
+
+// MovTo emits dst = src into an existing register (mutable variables).
+func (a *Asm) MovTo(dst, src int32) {
+	a.Emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// ConstTo emits a raw constant into an existing register.
+func (a *Asm) ConstTo(dst int32, dt model.DType, raw uint64) {
+	a.Emit(Instr{Op: OpConst, DT: dt, Dst: dst, Imm: raw})
+}
+
+// Bin emits dst = a op b in type dt, returning the fresh dst register.
+func (a *Asm) Bin(op Op, dt model.DType, x, y int32) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: op, DT: dt, Dst: dst, A: x, B: y})
+	return dst
+}
+
+// Un emits dst = op a in type dt.
+func (a *Asm) Un(op Op, dt model.DType, x int32) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: op, DT: dt, Dst: dst, A: x})
+	return dst
+}
+
+// Cast emits a conversion from type `from` to type `to`. Identity casts
+// return the source register unchanged.
+func (a *Asm) Cast(to, from model.DType, x int32) int32 {
+	if to == from {
+		return x
+	}
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpCast, DT: to, DT2: from, Dst: dst, A: x})
+	return dst
+}
+
+// Truth emits dst = (x != 0) where x has type dt; bools pass through.
+func (a *Asm) Truth(dt model.DType, x int32) int32 {
+	if dt == model.Bool {
+		return x
+	}
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpTruth, DT: model.Bool, DT2: dt, Dst: dst, A: x})
+	return dst
+}
+
+// Select emits dst = cond ? x : y in type dt.
+func (a *Asm) Select(dt model.DType, cond, x, y int32) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpSelect, DT: dt, Dst: dst, A: cond, B: x, C: y})
+	return dst
+}
+
+// LoadState emits dst = state[slot] typed dt.
+func (a *Asm) LoadState(dt model.DType, slot int) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpLoadState, DT: dt, Dst: dst, Imm: uint64(slot)})
+	return dst
+}
+
+// StoreState emits state[slot] = x.
+func (a *Asm) StoreState(slot int, x int32) {
+	a.Emit(Instr{Op: OpStoreState, A: x, Imm: uint64(slot)})
+}
+
+// LoadIn emits dst = input[field] typed dt.
+func (a *Asm) LoadIn(dt model.DType, field int) int32 {
+	dst := a.Reg()
+	a.Emit(Instr{Op: OpLoadIn, DT: dt, Dst: dst, Imm: uint64(field)})
+	return dst
+}
+
+// StoreOut emits output[field] = x.
+func (a *Asm) StoreOut(field int, x int32) {
+	a.Emit(Instr{Op: OpStoreOut, A: x, Imm: uint64(field)})
+}
+
+// Probe emits a decision-outcome probe.
+func (a *Asm) Probe(decID, outcome int) {
+	a.Emit(Instr{Op: OpProbe, A: int32(decID), B: int32(outcome)})
+}
+
+// CondProbe emits a condition-value probe reading bool register x.
+func (a *Asm) CondProbe(condID int, x int32) {
+	a.Emit(Instr{Op: OpCondProbe, A: int32(condID), B: x})
+}
+
+// JmpIfNot emits a forward conditional jump with an unresolved target and
+// returns the instruction address for later patching.
+func (a *Asm) JmpIfNot(cond int32) int {
+	return a.Emit(Instr{Op: OpJmpIfNot, A: cond})
+}
+
+// JmpIf emits a forward conditional jump (taken when cond != 0).
+func (a *Asm) JmpIf(cond int32) int {
+	return a.Emit(Instr{Op: OpJmpIf, A: cond})
+}
+
+// Jmp emits an unconditional forward jump with an unresolved target.
+func (a *Asm) Jmp() int {
+	return a.Emit(Instr{Op: OpJmp})
+}
+
+// Patch sets the jump at address pc to target the current PC.
+func (a *Asm) Patch(pc int) {
+	a.Instrs[pc].Imm = uint64(len(a.Instrs))
+}
+
+// PatchTo sets the jump at address pc to an explicit target.
+func (a *Asm) PatchTo(pc, target int) {
+	a.Instrs[pc].Imm = uint64(target)
+}
+
+// Halt terminates the function.
+func (a *Asm) Halt() { a.Emit(Instr{Op: OpHalt}) }

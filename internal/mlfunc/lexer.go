@@ -1,0 +1,224 @@
+// Package mlfunc implements the small imperative language used by MATLAB
+// Function blocks, If-block condition expressions and Stateflow transition
+// guards/actions in this reproduction.
+//
+// A function body looks like:
+//
+//	input  int32 power;
+//	input  bool  enable;
+//	output int32 ret = 0;
+//	state  int32 count = 0;
+//
+//	if (enable && power > 100) {
+//	    count = count + 1;
+//	} else {
+//	    count = 0;
+//	}
+//	if (count >= 5) { ret = power * 2; } else { ret = 0; }
+//
+// Statements are typed declarations (input/output/state/var), assignments,
+// if/elseif/else chains, bounded `while` loops (hard-capped at MaxWhileIter
+// so generated code always terminates), and constant-count `for` loops that
+// unroll at code generation.
+//
+// The language deliberately matches the shape of the C code Simulink Coder
+// emits for such blocks, so the four instrumentation modes of the paper's
+// §3.1.2 apply directly (every `if` and `while` is a decision; relational
+// and boolean leaves are conditions).
+package mlfunc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPunct // operators and delimiters
+	TokKeyword
+)
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "elseif": true, "while": true, "for": true,
+	"input": true, "output": true, "state": true, "var": true,
+	"true": true, "false": true,
+	"bool": true, "boolean": true, "int8": true, "uint8": true, "int16": true,
+	"uint16": true, "int32": true, "uint32": true, "single": true, "double": true,
+	"float32": true, "float64": true,
+}
+
+// Token is one lexical unit with its source position (1-based line/col).
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// Lexer splits mlfunc source into tokens. Comments run from '%' or "//" to
+// end of line.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%' || (c == '/' && l.peek2() == '/'):
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"&&", "||", "==", "~=", "!=", "<=", ">="}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	c := l.peek()
+
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		tok.Text = l.src[start:l.pos]
+		if keywords[tok.Text] {
+			tok.Kind = TokKeyword
+		} else {
+			tok.Kind = TokIdent
+		}
+		return tok, nil
+
+	case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peek2()))):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsDigit(rune(c)) {
+				l.advance()
+			} else if c == '.' && !isFloat {
+				isFloat = true
+				l.advance()
+			} else if (c == 'e' || c == 'E') && l.pos > start {
+				isFloat = true
+				l.advance()
+				if l.peek() == '+' || l.peek() == '-' {
+					l.advance()
+				}
+			} else {
+				break
+			}
+		}
+		tok.Text = l.src[start:l.pos]
+		if isFloat {
+			tok.Kind = TokFloat
+		} else {
+			tok.Kind = TokInt
+		}
+		return tok, nil
+	}
+
+	for _, p := range punct2 {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance()
+			l.advance()
+			tok.Kind = TokPunct
+			tok.Text = p
+			return tok, nil
+		}
+	}
+
+	switch c {
+	case '+', '-', '*', '/', '(', ')', '{', '}', ';', ',', '=', '<', '>', '!', '~', '&', '|':
+		l.advance()
+		tok.Kind = TokPunct
+		tok.Text = string(c)
+		return tok, nil
+	}
+	return tok, fmt.Errorf("mlfunc: line %d col %d: unexpected character %q", l.line, l.col, c)
+}
+
+// LexAll tokenizes the full input (for tests and tools).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package mlfunc
+
+import (
+	"fmt"
+	"strconv"
+
+	"cftcg/internal/model"
+)
+
+// Parser turns a token stream into an AST. Construction errors carry source
+// line numbers.
+type parser struct {
+	lex *Lexer
+	tok Token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: NewLexer(src)}
+	return p, p.next()
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("mlfunc: line %d: %s", p.tok.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind TokKind, text string) error {
+	if p.tok.Kind != kind || (text != "" && p.tok.Text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return p.errf("expected %q, found %s", want, p.tok)
+	}
+	return p.next()
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.tok.Kind == kind && p.tok.Text == text {
+		if err := p.next(); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// Parse parses and type-checks a full MATLAB Function body.
+func Parse(name, src string) (*Function, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f := &Function{Name: name, byName: map[string]*Decl{}}
+
+	// Declarations come first.
+	for p.tok.Kind == TokKeyword && isClassKeyword(p.tok.Text) {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if f.byName[d.Name] != nil {
+			return nil, fmt.Errorf("mlfunc: line %d: duplicate declaration of %q", d.Line, d.Name)
+		}
+		f.Decls = append(f.Decls, d)
+		f.byName[d.Name] = &f.Decls[len(f.Decls)-1]
+	}
+
+	body, err := p.parseStmts(false)
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after function body", p.tok)
+	}
+	if err := typecheckFunction(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ParseExpr parses a standalone boolean/numeric expression (If-block
+// conditions, Stateflow guards) against the given symbol table.
+func ParseExpr(src string, symbols map[string]model.DType) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after expression", p.tok)
+	}
+	tc := &typechecker{symbols: symbols}
+	if err := tc.expr(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseStmts parses a standalone statement list (Stateflow actions) against
+// the given symbol table. Assignments may target any symbol.
+func ParseStmts(src string, symbols map[string]model.DType) ([]Stmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseStmts(false)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after statements", p.tok)
+	}
+	tc := &typechecker{symbols: symbols}
+	for _, s := range stmts {
+		if err := tc.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	return stmts, nil
+}
+
+func isClassKeyword(s string) bool {
+	return s == "input" || s == "output" || s == "state" || s == "var"
+}
+
+func (p *parser) parseDecl() (Decl, error) {
+	var d Decl
+	d.Line = p.tok.Line
+	switch p.tok.Text {
+	case "input":
+		d.Class = ClassInput
+	case "output":
+		d.Class = ClassOutput
+	case "state":
+		d.Class = ClassState
+	case "var":
+		d.Class = ClassLocal
+	}
+	if err := p.next(); err != nil {
+		return d, err
+	}
+	if p.tok.Kind != TokKeyword {
+		return d, p.errf("expected type name, found %s", p.tok)
+	}
+	dt, err := model.ParseDType(p.tok.Text)
+	if err != nil {
+		return d, p.errf("%v", err)
+	}
+	d.Type = dt
+	if err := p.next(); err != nil {
+		return d, err
+	}
+	if p.tok.Kind != TokIdent {
+		return d, p.errf("expected variable name, found %s", p.tok)
+	}
+	d.Name = p.tok.Text
+	if err := p.next(); err != nil {
+		return d, err
+	}
+	if p.accept(TokPunct, "=") {
+		switch {
+		case p.tok.Kind == TokKeyword && (p.tok.Text == "true" || p.tok.Text == "false"):
+			if p.tok.Text == "true" {
+				d.Init = 1
+			}
+			if err := p.next(); err != nil {
+				return d, err
+			}
+		default:
+			neg := p.accept(TokPunct, "-")
+			if p.tok.Kind != TokInt && p.tok.Kind != TokFloat {
+				return d, p.errf("initializer must be a numeric or boolean literal, found %s", p.tok)
+			}
+			v, err := strconv.ParseFloat(p.tok.Text, 64)
+			if err != nil {
+				return d, p.errf("bad literal %q", p.tok.Text)
+			}
+			if neg {
+				v = -v
+			}
+			d.Init = v
+			if err := p.next(); err != nil {
+				return d, err
+			}
+		}
+	}
+	return d, p.expect(TokPunct, ";")
+}
+
+// parseStmts parses statements until EOF (inBlock=false) or a closing brace
+// (inBlock=true, brace consumed by the caller).
+func (p *parser) parseStmts(inBlock bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.tok.Kind == TokEOF {
+			return out, nil
+		}
+		if inBlock && p.tok.Kind == TokPunct && p.tok.Text == "}" {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseStmts(true)
+	if err != nil {
+		return nil, err
+	}
+	return stmts, p.expect(TokPunct, "}")
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.tok.Kind == TokKeyword && p.tok.Text == "if":
+		return p.parseIf()
+	case p.tok.Kind == TokKeyword && p.tok.Text == "for":
+		return p.parseFor()
+	case p.tok.Kind == TokKeyword && p.tok.Text == "while":
+		return p.parseWhile()
+	case p.tok.Kind == TokIdent:
+		line := p.tok.Line
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr(1)
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: name, Rhs: rhs, Line: line}, p.expect(TokPunct, ";")
+	}
+	return nil, p.errf("expected statement, found %s", p.tok)
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.next(); err != nil { // consume "if"
+		return nil, err
+	}
+	cond, err := p.parseParenExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: line}
+
+	switch {
+	case p.tok.Kind == TokKeyword && p.tok.Text == "elseif":
+		elif, err := p.parseIf() // reuse: elseif behaves like "else { if ... }"
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{elif}
+	case p.tok.Kind == TokKeyword && p.tok.Text == "else":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokKeyword && p.tok.Text == "if" {
+			elif, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []Stmt{elif}
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+// parseFor parses "for i = N { ... }": i counts 0..N-1 and the body is
+// unrolled at code-generation time (N must be a literal).
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokIdent {
+		return nil, p.errf("expected loop variable, found %s", p.tok)
+	}
+	name := p.tok.Text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokInt {
+		return nil, p.errf("loop count must be an integer literal, found %s", p.tok)
+	}
+	n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+	if err != nil || n < 0 || n > 1<<16 {
+		return nil, p.errf("invalid loop count %q", p.tok.Text)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &For{Var: name, Count: n, Body: body, Line: line}, nil
+}
+
+// parseWhile parses "while (cond) { ... }". Code generation bounds the loop
+// at MaxWhileIter iterations.
+func (p *parser) parseWhile() (Stmt, error) {
+	line := p.tok.Line
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseParenExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Line: line}, nil
+}
+
+func (p *parser) parseParenExpr() (Expr, error) {
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	return e, p.expect(TokPunct, ")")
+}
+
+// Operator precedence (higher binds tighter).
+func precOf(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "~=", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/":
+		return 5
+	}
+	return 0
+}
+
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPunct {
+		op := p.tok.Text
+		prec := precOf(op)
+		if prec == 0 || prec < minPrec {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokPunct {
+		switch p.tok.Text {
+		case "-", "!", "~":
+			op := p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: op, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.tok.Kind == TokPunct && p.tok.Text == "(":
+		return p.parseParenExpr()
+
+	case p.tok.Kind == TokInt:
+		v, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", p.tok.Text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: v, T: model.Int32}, nil
+
+	case p.tok.Kind == TokFloat:
+		v, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", p.tok.Text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: v, T: model.Float64}, nil
+
+	case p.tok.Kind == TokKeyword && (p.tok.Text == "true" || p.tok.Text == "false"):
+		v := 0.0
+		if p.tok.Text == "true" {
+			v = 1
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &Lit{Val: v, T: model.Bool}, nil
+
+	case p.tok.Kind == TokIdent:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokPunct && p.tok.Text == "(" {
+			return p.parseCall(name)
+		}
+		return &Ref{Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}
+
+func (p *parser) parseCall(fn string) (Expr, error) {
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !(p.tok.Kind == TokPunct && p.tok.Text == ")") {
+		for {
+			a, err := p.parseExpr(1)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &Call{Fn: fn, Args: args}, nil
+}

@@ -1,0 +1,203 @@
+package mlfunc
+
+import (
+	"fmt"
+	"strings"
+
+	"cftcg/internal/model"
+)
+
+// typeRank orders the numeric types for promotion. Mixed-type arithmetic
+// computes in the higher-ranked type, matching the widening Simulink Coder
+// applies in generated C.
+var typeRank = map[model.DType]int{
+	model.Bool: 0, model.Int8: 1, model.UInt8: 2, model.Int16: 3,
+	model.UInt16: 4, model.Int32: 5, model.UInt32: 6,
+	model.Float32: 7, model.Float64: 8,
+}
+
+// Promote returns the computation type for a binary operation over a and b.
+func Promote(a, b model.DType) model.DType {
+	if typeRank[a] >= typeRank[b] {
+		if a == model.Bool {
+			return model.Int32 // bool arithmetic computes in int32
+		}
+		return a
+	}
+	if b == model.Bool {
+		return model.Int32
+	}
+	return b
+}
+
+type typechecker struct {
+	symbols map[string]model.DType
+}
+
+func typecheckFunction(f *Function) error {
+	symbols := make(map[string]model.DType, len(f.Decls))
+	for _, d := range f.Decls {
+		symbols[d.Name] = d.Type
+	}
+	tc := &typechecker{symbols: symbols}
+	for _, s := range f.Body {
+		if err := tc.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (tc *typechecker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Assign:
+		if _, ok := tc.symbols[st.Name]; !ok {
+			return fmt.Errorf("mlfunc: line %d: assignment to undeclared variable %q", st.Line, st.Name)
+		}
+		return tc.expr(st.Rhs)
+	case *If:
+		if err := tc.expr(st.Cond); err != nil {
+			return err
+		}
+		for _, t := range st.Then {
+			if err := tc.stmt(t); err != nil {
+				return err
+			}
+		}
+		for _, e := range st.Else {
+			if err := tc.stmt(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *While:
+		if err := tc.expr(st.Cond); err != nil {
+			return err
+		}
+		for _, b := range st.Body {
+			if err := tc.stmt(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *For:
+		if _, exists := tc.symbols[st.Var]; exists {
+			return fmt.Errorf("mlfunc: line %d: loop variable %q shadows a declaration", st.Line, st.Var)
+		}
+		tc.symbols[st.Var] = model.Int32
+		defer delete(tc.symbols, st.Var)
+		for _, b := range st.Body {
+			if err := tc.stmt(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("mlfunc: unknown statement %T", s)
+}
+
+func (tc *typechecker) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *Lit:
+		return nil
+	case *Ref:
+		dt, ok := tc.symbols[ex.Name]
+		if !ok {
+			return fmt.Errorf("mlfunc: reference to undeclared variable %q", ex.Name)
+		}
+		ex.T = dt
+		return nil
+	case *Unary:
+		if err := tc.expr(ex.X); err != nil {
+			return err
+		}
+		switch ex.Op {
+		case "-":
+			ex.T = Promote(ex.X.Type(), model.Int8)
+		case "!", "~":
+			ex.T = model.Bool
+		default:
+			return fmt.Errorf("mlfunc: unknown unary operator %q", ex.Op)
+		}
+		return nil
+	case *Binary:
+		if err := tc.expr(ex.X); err != nil {
+			return err
+		}
+		if err := tc.expr(ex.Y); err != nil {
+			return err
+		}
+		switch {
+		case IsBoolOp(ex.Op):
+			ex.T = model.Bool
+		case IsRelOp(ex.Op):
+			ex.T = model.Bool
+		case ex.Op == "+" || ex.Op == "-" || ex.Op == "*" || ex.Op == "/":
+			ex.T = Promote(ex.X.Type(), ex.Y.Type())
+		default:
+			return fmt.Errorf("mlfunc: unknown binary operator %q", ex.Op)
+		}
+		return nil
+	case *Call:
+		for _, a := range ex.Args {
+			if err := tc.expr(a); err != nil {
+				return err
+			}
+		}
+		switch ex.Fn {
+		case "abs":
+			if len(ex.Args) != 1 {
+				return fmt.Errorf("mlfunc: abs takes 1 argument, got %d", len(ex.Args))
+			}
+			ex.T = ex.Args[0].Type()
+		case "min", "max":
+			if len(ex.Args) != 2 {
+				return fmt.Errorf("mlfunc: %s takes 2 arguments, got %d", ex.Fn, len(ex.Args))
+			}
+			ex.T = Promote(ex.Args[0].Type(), ex.Args[1].Type())
+		case "sat":
+			if len(ex.Args) != 3 {
+				return fmt.Errorf("mlfunc: sat takes 3 arguments (x, lo, hi), got %d", len(ex.Args))
+			}
+			ex.T = ex.Args[0].Type()
+		default:
+			return fmt.Errorf("mlfunc: unknown function %q", ex.Fn)
+		}
+		return nil
+	}
+	return fmt.Errorf("mlfunc: unknown expression %T", e)
+}
+
+// Conditions returns the leaf boolean conditions of a decision expression:
+// the operands of &&/||/! chains that are not themselves logical operators.
+// These are the "conditions" of Condition Coverage and MCDC (paper §3.1.2
+// mode (d) and the Simulink model-coverage definition).
+func Conditions(e Expr) []Expr {
+	var out []Expr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch ex := e.(type) {
+		case *Binary:
+			if IsBoolOp(ex.Op) {
+				walk(ex.X)
+				walk(ex.Y)
+				return
+			}
+		case *Unary:
+			if ex.Op == "!" || ex.Op == "~" {
+				walk(ex.X)
+				return
+			}
+		}
+		out = append(out, e)
+	}
+	walk(e)
+	return out
+}
+
+// ExprString renders an expression as C-like source text.
+func ExprString(e Expr) string {
+	var w strings.Builder
+	e.Emit(&w)
+	return w.String()
+}

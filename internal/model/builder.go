@@ -1,0 +1,275 @@
+package model
+
+import "fmt"
+
+// Builder constructs a Graph (or whole Model) programmatically. It is the
+// API the benchmark models and examples use in place of drawing diagrams.
+//
+//	b := model.NewBuilder("SolarPV")
+//	en := b.Inport("Enable", model.Int8)
+//	pw := b.Inport("Power", model.Int32)
+//	hot := b.Rel(">=", pw, b.ConstT(model.Int32, 500))
+//	b.Outport("Ret", model.Int32, b.Switch(hot, pw, b.ConstT(model.Int32, 0)))
+//	m := b.Model()
+type Builder struct {
+	name   string
+	graph  *Graph
+	parent *Builder
+	nIn    int // count of Inport blocks added (for auto index)
+	nOut   int
+	anon   int // counter for generated block names
+}
+
+// NewBuilder creates a builder for a new top-level model graph.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, graph: &Graph{}}
+}
+
+// Name returns the model name the builder was created with.
+func (b *Builder) Name() string { return b.name }
+
+// Graph returns the graph under construction.
+func (b *Builder) Graph() *Graph { return b.graph }
+
+// Model finalizes the (top-level) builder into a Model.
+func (b *Builder) Model() *Model {
+	if b.parent != nil {
+		panic("model: Model() called on a subsystem builder")
+	}
+	return &Model{Name: b.name, Root: *b.graph, SampleTime: 0.01}
+}
+
+func (b *Builder) autoName(kind string) string {
+	b.anon++
+	return fmt.Sprintf("%s%d", kind, b.anon)
+}
+
+// Add appends a block of the given kind and returns its handle. A empty name
+// is replaced with a generated unique one.
+func (b *Builder) Add(kind, name string, params Params) *BlockHandle {
+	if name == "" {
+		name = b.autoName(kind)
+	}
+	if params == nil {
+		params = Params{}
+	}
+	blk := &Block{
+		ID:     BlockID(len(b.graph.Blocks)),
+		Name:   name,
+		Kind:   kind,
+		Params: params,
+	}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return &BlockHandle{b: b, blk: blk}
+}
+
+// Connect wires a source output port to a destination input port.
+func (b *Builder) Connect(src, dst PortRef) {
+	b.graph.Lines = append(b.graph.Lines, Line{Src: src, Dst: dst})
+}
+
+// BlockHandle is a fluent reference to a block being built.
+type BlockHandle struct {
+	b   *Builder
+	blk *Block
+}
+
+// ID returns the block's identifier.
+func (h *BlockHandle) ID() BlockID { return h.blk.ID }
+
+// Block returns the underlying block.
+func (h *BlockHandle) Block() *Block { return h.blk }
+
+// Out returns a reference to output port i.
+func (h *BlockHandle) Out(i int) PortRef { return PortRef{Block: h.blk.ID, Port: i} }
+
+// In returns a reference to input port i.
+func (h *BlockHandle) In(i int) PortRef { return PortRef{Block: h.blk.ID, Port: i} }
+
+// From connects the given sources to this block's input ports 0..n-1 and
+// returns the handle for chaining.
+func (h *BlockHandle) From(srcs ...PortRef) *BlockHandle {
+	for i, s := range srcs {
+		h.b.Connect(s, h.In(i))
+	}
+	return h
+}
+
+// --- common-block conveniences ----------------------------------------------
+// Each returns the PortRef of the block's (single) output so expressions
+// compose naturally.
+
+// Inport adds a root input port of the given type.
+func (b *Builder) Inport(name string, dt DType) PortRef {
+	b.nIn++
+	h := b.Add("Inport", name, Params{"Type": dt, "Index": b.nIn})
+	return h.Out(0)
+}
+
+// Outport adds a root output port of the given type fed by src.
+func (b *Builder) Outport(name string, dt DType, src PortRef) *BlockHandle {
+	b.nOut++
+	h := b.Add("Outport", name, Params{"Type": dt, "Index": b.nOut})
+	b.Connect(src, h.In(0))
+	return h
+}
+
+// Const adds a double Constant block.
+func (b *Builder) Const(v float64) PortRef { return b.ConstT(Float64, v) }
+
+// ConstT adds a Constant block with an explicit output type.
+func (b *Builder) ConstT(dt DType, v float64) PortRef {
+	return b.Add("Constant", "", Params{"Value": v, "Type": dt}).Out(0)
+}
+
+// Gain multiplies src by k.
+func (b *Builder) Gain(src PortRef, k float64) PortRef {
+	return b.Add("Gain", "", Params{"Gain": k}).From(src).Out(0)
+}
+
+// Sum adds a Sum block; signs is a string like "+-" giving one sign per input.
+func (b *Builder) Sum(signs string, srcs ...PortRef) PortRef {
+	return b.Add("Sum", "", Params{"Signs": signs}).From(srcs...).Out(0)
+}
+
+// Add2 adds two signals.
+func (b *Builder) Add2(x, y PortRef) PortRef { return b.Sum("++", x, y) }
+
+// Sub subtracts y from x.
+func (b *Builder) Sub(x, y PortRef) PortRef { return b.Sum("+-", x, y) }
+
+// Mul multiplies two signals with a Product block.
+func (b *Builder) Mul(x, y PortRef) PortRef {
+	return b.Add("Product", "", Params{"Ops": "**"}).From(x, y).Out(0)
+}
+
+// Div divides x by y with a Product block.
+func (b *Builder) Div(x, y PortRef) PortRef {
+	return b.Add("Product", "", Params{"Ops": "*/"}).From(x, y).Out(0)
+}
+
+// Rel adds a RelationalOperator block; op is one of == ~= < <= > >=.
+func (b *Builder) Rel(op string, x, y PortRef) PortRef {
+	return b.Add("RelationalOperator", "", Params{"Op": op}).From(x, y).Out(0)
+}
+
+// Logic adds a LogicalOperator block; op is AND, OR, NAND, NOR, XOR or NOT.
+func (b *Builder) Logic(op string, srcs ...PortRef) PortRef {
+	return b.Add("LogicalOperator", "", Params{"Op": op, "Inputs": len(srcs)}).From(srcs...).Out(0)
+}
+
+// And is Logic("AND", ...).
+func (b *Builder) And(srcs ...PortRef) PortRef { return b.Logic("AND", srcs...) }
+
+// Or is Logic("OR", ...).
+func (b *Builder) Or(srcs ...PortRef) PortRef { return b.Logic("OR", srcs...) }
+
+// Not is Logic("NOT", x).
+func (b *Builder) Not(x PortRef) PortRef { return b.Logic("NOT", x) }
+
+// Switch adds a Switch block that outputs onTrue when ctrl is nonzero
+// (Criteria "~=0") and onFalse otherwise.
+func (b *Builder) Switch(ctrl, onTrue, onFalse PortRef) PortRef {
+	h := b.Add("Switch", "", Params{"Criteria": "~=0", "Threshold": 0.0})
+	b.Connect(onTrue, h.In(0))
+	b.Connect(ctrl, h.In(1))
+	b.Connect(onFalse, h.In(2))
+	return h.Out(0)
+}
+
+// SwitchGE adds a Switch with Criteria ">=Threshold".
+func (b *Builder) SwitchGE(ctrl PortRef, thresh float64, onTrue, onFalse PortRef) PortRef {
+	h := b.Add("Switch", "", Params{"Criteria": ">=", "Threshold": thresh})
+	b.Connect(onTrue, h.In(0))
+	b.Connect(ctrl, h.In(1))
+	b.Connect(onFalse, h.In(2))
+	return h.Out(0)
+}
+
+// UnitDelay adds a one-step delay with the given initial value; the output
+// type follows the input.
+func (b *Builder) UnitDelay(src PortRef, init float64) PortRef {
+	return b.Add("UnitDelay", "", Params{"Init": init}).From(src).Out(0)
+}
+
+// DelayT adds a UnitDelay with an explicit element type (needed when the
+// delay participates in a cycle so the type cannot be inferred from its
+// driver).
+func (b *Builder) DelayT(src PortRef, dt DType, init float64) PortRef {
+	return b.Add("UnitDelay", "", Params{"Init": init, "Type": dt}).From(src).Out(0)
+}
+
+// Saturation clamps src to [lo, hi].
+func (b *Builder) Saturation(src PortRef, lo, hi float64) PortRef {
+	return b.Add("Saturation", "", Params{"Lower": lo, "Upper": hi}).From(src).Out(0)
+}
+
+// Abs adds an Abs block.
+func (b *Builder) Abs(src PortRef) PortRef { return b.Add("Abs", "", nil).From(src).Out(0) }
+
+// MinMax adds a MinMax block; fn is "min" or "max".
+func (b *Builder) MinMax(fn string, srcs ...PortRef) PortRef {
+	return b.Add("MinMax", "", Params{"Fn": fn, "Inputs": len(srcs)}).From(srcs...).Out(0)
+}
+
+// Cast adds a DataTypeConversion block to dt.
+func (b *Builder) Cast(src PortRef, dt DType) PortRef {
+	return b.Add("DataTypeConversion", "", Params{"Type": dt}).From(src).Out(0)
+}
+
+// Matlab adds a MATLAB Function block. The script declares its signature via
+// the mlfunc language; ins are wired in declaration order.
+func (b *Builder) Matlab(name, script string, ins ...PortRef) *BlockHandle {
+	return b.Add("MatlabFunction", name, Params{}).From(ins...).setScript(script)
+}
+
+func (h *BlockHandle) setScript(s string) *BlockHandle {
+	h.blk.Script = s
+	return h
+}
+
+// Chart adds a Stateflow chart block with the given opaque chart spec
+// (a *stateflow.Chart). Inputs are wired in chart-declaration order.
+func (b *Builder) Chart(name string, spec any, ins ...PortRef) *BlockHandle {
+	h := b.Add("Chart", name, Params{}).From(ins...)
+	h.blk.ChartSpec = spec
+	return h
+}
+
+// Subsystem opens a nested builder for an atomic subsystem block. The
+// returned child builder adds blocks to the nested graph; its Inport/Outport
+// blocks define the subsystem's interface.
+func (b *Builder) Subsystem(name string) (*BlockHandle, *Builder) {
+	return b.subsystem("Subsystem", name, nil)
+}
+
+// EnabledSubsystem opens a conditionally-executed subsystem: input port 0 is
+// the enable signal, and while disabled the outputs hold their previous
+// values (initialized from each inner Outport's "Init" parameter).
+func (b *Builder) EnabledSubsystem(name string, enable PortRef) (*BlockHandle, *Builder) {
+	h, sub := b.subsystem("EnabledSubsystem", name, nil)
+	b.Connect(enable, h.In(0))
+	return h, sub
+}
+
+func (b *Builder) subsystem(kind, name string, params Params) (*BlockHandle, *Builder) {
+	h := b.Add(kind, name, params)
+	sub := &Builder{name: name, graph: &Graph{}, parent: b}
+	h.blk.Sub = sub.graph
+	return h, sub
+}
+
+// If adds an If block with the given boolean condition expressions over
+// inputs u1..un (mlfunc syntax, e.g. "u1 > 0 && u2 < 5"). It has
+// len(conds)+1 outputs: one action signal per condition plus the else action.
+func (b *Builder) If(name string, conds []string, ins ...PortRef) *BlockHandle {
+	return b.Add("If", name, Params{"Conditions": conds, "Inputs": len(ins)}).From(ins...)
+}
+
+// ActionSubsystem opens a subsystem executed when the given If/SwitchCase
+// action signal is true; outputs hold while inactive.
+func (b *Builder) ActionSubsystem(name string, action PortRef) (*BlockHandle, *Builder) {
+	h, sub := b.subsystem("ActionSubsystem", name, nil)
+	b.Connect(action, h.In(0))
+	return h, sub
+}

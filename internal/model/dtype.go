@@ -1,0 +1,333 @@
+// Package model defines the block-diagram data model used throughout CFTCG:
+// typed signals, blocks, connection graphs, hierarchical subsystems, and the
+// top-level Model that the parser produces and the code generator consumes.
+//
+// The model mirrors the subset of Simulink semantics the paper's pipeline
+// needs: single-rate discrete execution, scalar typed signals, virtual and
+// conditionally-executed subsystems, Stateflow chart blocks, and MATLAB
+// Function blocks.
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DType identifies the data type carried by a signal, port or parameter.
+// The set matches the Simulink built-in numeric types CFTCG's fuzz driver
+// understands (the paper's Figure 3 uses int8/int32 fields).
+type DType uint8
+
+// The supported signal data types.
+const (
+	Bool DType = iota
+	Int8
+	UInt8
+	Int16
+	UInt16
+	Int32
+	UInt32
+	Float32
+	Float64
+	numDTypes
+)
+
+var dtypeNames = [...]string{
+	Bool:    "boolean",
+	Int8:    "int8",
+	UInt8:   "uint8",
+	Int16:   "int16",
+	UInt16:  "uint16",
+	Int32:   "int32",
+	UInt32:  "uint32",
+	Float32: "single",
+	Float64: "double",
+}
+
+var dtypeSizes = [...]int{
+	Bool:    1,
+	Int8:    1,
+	UInt8:   1,
+	Int16:   2,
+	UInt16:  2,
+	Int32:   4,
+	UInt32:  4,
+	Float32: 4,
+	Float64: 8,
+}
+
+// String returns the Simulink name of the type (e.g. "int32", "double").
+func (d DType) String() string {
+	if int(d) < len(dtypeNames) {
+		return dtypeNames[d]
+	}
+	return fmt.Sprintf("DType(%d)", uint8(d))
+}
+
+// Size returns the width of the type in bytes. This is the unit the fuzz
+// driver uses to slice the input byte stream into inport fields.
+func (d DType) Size() int {
+	if int(d) < len(dtypeSizes) {
+		return dtypeSizes[d]
+	}
+	return 0
+}
+
+// Valid reports whether d is one of the defined data types.
+func (d DType) Valid() bool { return d < numDTypes }
+
+// IsFloat reports whether d is single or double precision floating point.
+func (d DType) IsFloat() bool { return d == Float32 || d == Float64 }
+
+// IsInteger reports whether d is one of the integer types (Bool excluded).
+func (d DType) IsInteger() bool { return d >= Int8 && d <= UInt32 }
+
+// IsSigned reports whether d is a signed integer type.
+func (d DType) IsSigned() bool { return d == Int8 || d == Int16 || d == Int32 }
+
+// IsBool reports whether d is the boolean type.
+func (d DType) IsBool() bool { return d == Bool }
+
+// MinInt returns the smallest representable value for integer type d.
+func (d DType) MinInt() int64 {
+	switch d {
+	case Int8:
+		return math.MinInt8
+	case Int16:
+		return math.MinInt16
+	case Int32:
+		return math.MinInt32
+	default:
+		return 0
+	}
+}
+
+// MaxInt returns the largest representable value for integer (or bool) type d.
+func (d DType) MaxInt() int64 {
+	switch d {
+	case Bool:
+		return 1
+	case Int8:
+		return math.MaxInt8
+	case UInt8:
+		return math.MaxUint8
+	case Int16:
+		return math.MaxInt16
+	case UInt16:
+		return math.MaxUint16
+	case Int32:
+		return math.MaxInt32
+	case UInt32:
+		return math.MaxUint32
+	default:
+		return 0
+	}
+}
+
+// ParseDType resolves a Simulink type name ("int8", "boolean", "double", ...)
+// to a DType. It accepts both Simulink spellings and Go-style aliases.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "boolean", "bool":
+		return Bool, nil
+	case "int8":
+		return Int8, nil
+	case "uint8":
+		return UInt8, nil
+	case "int16":
+		return Int16, nil
+	case "uint16":
+		return UInt16, nil
+	case "int32", "int":
+		return Int32, nil
+	case "uint32", "uint":
+		return UInt32, nil
+	case "single", "float32", "float":
+		return Float32, nil
+	case "double", "float64":
+		return Float64, nil
+	}
+	return Bool, fmt.Errorf("model: unknown data type %q", s)
+}
+
+// CName returns the C spelling of the type as it appears in generated fuzz
+// code (the paper's Figure 3 uses int8/int32 style names).
+func (d DType) CName() string {
+	switch d {
+	case Bool:
+		return "boolean_T"
+	case Float32:
+		return "real32_T"
+	case Float64:
+		return "real_T"
+	default:
+		return d.String()
+	}
+}
+
+// --- raw value encoding -----------------------------------------------------
+//
+// Throughout the pipeline a scalar signal value is carried as a raw uint64
+// whose low d.Size()*8 bits hold the little-endian representation of the
+// value. This keeps the fast VM register file a flat []uint64 while still
+// being exact for every supported type.
+
+// EncodeInt wraps v to the representable range of integer/bool type d and
+// returns its raw encoding. Wrapping (not saturating) matches two's-complement
+// storage; blocks that saturate do so explicitly.
+func EncodeInt(d DType, v int64) uint64 {
+	switch d {
+	case Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case Int8:
+		return uint64(uint8(int8(v)))
+	case UInt8:
+		return uint64(uint8(v))
+	case Int16:
+		return uint64(uint16(int16(v)))
+	case UInt16:
+		return uint64(uint16(v))
+	case Int32:
+		return uint64(uint32(int32(v)))
+	case UInt32:
+		return uint64(uint32(v))
+	case Float32:
+		return uint64(math.Float32bits(float32(v)))
+	case Float64:
+		return math.Float64bits(float64(v))
+	}
+	return 0
+}
+
+// DecodeInt interprets raw as integer/bool type d and returns its value,
+// sign-extended for signed types.
+func DecodeInt(d DType, raw uint64) int64 {
+	switch d {
+	case Bool:
+		if raw&1 != 0 {
+			return 1
+		}
+		return 0
+	case Int8:
+		return int64(int8(uint8(raw)))
+	case UInt8:
+		return int64(uint8(raw))
+	case Int16:
+		return int64(int16(uint16(raw)))
+	case UInt16:
+		return int64(uint16(raw))
+	case Int32:
+		return int64(int32(uint32(raw)))
+	case UInt32:
+		return int64(uint32(raw))
+	}
+	return 0
+}
+
+// EncodeFloat returns the raw encoding of floating point value v in type d.
+func EncodeFloat(d DType, v float64) uint64 {
+	if d == Float32 {
+		return uint64(math.Float32bits(float32(v)))
+	}
+	return math.Float64bits(v)
+}
+
+// DecodeFloat interprets raw as floating point type d.
+func DecodeFloat(d DType, raw uint64) float64 {
+	if d == Float32 {
+		return float64(math.Float32frombits(uint32(raw)))
+	}
+	return math.Float64frombits(raw)
+}
+
+// Encode converts the numeric value v into the raw representation of type d,
+// applying the same cast semantics as a C assignment (wrap for integers).
+func Encode(d DType, v float64) uint64 {
+	if d.IsFloat() {
+		return EncodeFloat(d, v)
+	}
+	// C-style float->int conversion truncates toward zero; out-of-range is
+	// clamped to the type bounds to stay deterministic across platforms.
+	t := math.Trunc(v)
+	if math.IsNaN(t) {
+		t = 0
+	}
+	if t < float64(d.MinInt()) {
+		t = float64(d.MinInt())
+	}
+	if t > float64(d.MaxInt()) {
+		t = float64(d.MaxInt())
+	}
+	return EncodeInt(d, int64(t))
+}
+
+// Decode interprets raw as type d and returns its numeric value as float64.
+// Every supported type is exactly representable except extreme uint32/int64
+// corners, which the scalar model types do not reach.
+func Decode(d DType, raw uint64) float64 {
+	if d.IsFloat() {
+		return DecodeFloat(d, raw)
+	}
+	return float64(DecodeInt(d, raw))
+}
+
+// Truth interprets raw of type d as a logical value (non-zero is true),
+// matching Simulink's interpretation of numeric signals at logic inputs.
+func Truth(d DType, raw uint64) bool {
+	if d.IsFloat() {
+		return Decode(d, raw) != 0
+	}
+	return DecodeInt(d, raw) != 0
+}
+
+// PutRaw serializes raw (of type d) into b in little-endian order, using
+// exactly d.Size() bytes. It is the inverse of GetRaw and defines the binary
+// test-case layout produced by the fuzzer and consumed by the fuzz driver.
+func PutRaw(d DType, b []byte, raw uint64) {
+	switch d.Size() {
+	case 1:
+		b[0] = byte(raw)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(raw))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(raw))
+	case 8:
+		binary.LittleEndian.PutUint64(b, raw)
+	}
+}
+
+// GetRaw deserializes a raw value of type d from little-endian bytes.
+func GetRaw(d DType, b []byte) uint64 {
+	switch d.Size() {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// Cast converts a raw value from type `from` to type `to` with C semantics:
+// float<->int truncation, integer widening/narrowing with wrap, bool
+// normalization.
+func Cast(to, from DType, raw uint64) uint64 {
+	if to == from {
+		return raw
+	}
+	if from.IsFloat() {
+		return Encode(to, DecodeFloat(from, raw))
+	}
+	v := DecodeInt(from, raw)
+	if to.IsFloat() {
+		return EncodeFloat(to, float64(v))
+	}
+	return EncodeInt(to, v)
+}

@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var allTypes = []DType{Bool, Int8, UInt8, Int16, UInt16, Int32, UInt32, Float32, Float64}
+
+func TestDTypeSizesAndNames(t *testing.T) {
+	want := map[DType]struct {
+		size int
+		name string
+	}{
+		Bool: {1, "boolean"}, Int8: {1, "int8"}, UInt8: {1, "uint8"},
+		Int16: {2, "int16"}, UInt16: {2, "uint16"}, Int32: {4, "int32"},
+		UInt32: {4, "uint32"}, Float32: {4, "single"}, Float64: {8, "double"},
+	}
+	for dt, w := range want {
+		if dt.Size() != w.size {
+			t.Errorf("%s: size %d, want %d", dt, dt.Size(), w.size)
+		}
+		if dt.String() != w.name {
+			t.Errorf("size %d: name %q, want %q", dt.Size(), dt.String(), w.name)
+		}
+		parsed, err := ParseDType(w.name)
+		if err != nil || parsed != dt {
+			t.Errorf("ParseDType(%q) = %v, %v", w.name, parsed, err)
+		}
+	}
+	if _, err := ParseDType("complex128"); err == nil {
+		t.Error("ParseDType should reject unknown names")
+	}
+}
+
+func TestIntRanges(t *testing.T) {
+	cases := []struct {
+		dt       DType
+		min, max int64
+	}{
+		{Bool, 0, 1},
+		{Int8, -128, 127},
+		{UInt8, 0, 255},
+		{Int16, -32768, 32767},
+		{UInt16, 0, 65535},
+		{Int32, math.MinInt32, math.MaxInt32},
+		{UInt32, 0, math.MaxUint32},
+	}
+	for _, c := range cases {
+		if c.dt.MinInt() != c.min || c.dt.MaxInt() != c.max {
+			t.Errorf("%s: range [%d,%d], want [%d,%d]", c.dt, c.dt.MinInt(), c.dt.MaxInt(), c.min, c.max)
+		}
+	}
+}
+
+// Property: EncodeInt/DecodeInt round-trips every in-range value exactly.
+func TestEncodeDecodeIntRoundTrip(t *testing.T) {
+	prop := func(raw int64) bool {
+		for _, dt := range []DType{Int8, UInt8, Int16, UInt16, Int32, UInt32} {
+			span := dt.MaxInt() - dt.MinInt() + 1
+			v := dt.MinInt() + ((raw%span)+span)%span
+			if DecodeInt(dt, EncodeInt(dt, v)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer encoding wraps like two's complement.
+func TestEncodeIntWraps(t *testing.T) {
+	if got := DecodeInt(Int8, EncodeInt(Int8, 130)); got != -126 {
+		t.Errorf("int8 wrap of 130: got %d, want -126", got)
+	}
+	if got := DecodeInt(UInt8, EncodeInt(UInt8, -1)); got != 255 {
+		t.Errorf("uint8 wrap of -1: got %d, want 255", got)
+	}
+	if got := DecodeInt(Int32, EncodeInt(Int32, math.MaxInt32+1)); got != math.MinInt32 {
+		t.Errorf("int32 wrap: got %d", got)
+	}
+}
+
+// Property: float encode/decode round-trips bit patterns.
+func TestEncodeDecodeFloatRoundTrip(t *testing.T) {
+	prop := func(f float64) bool {
+		if DecodeFloat(Float64, EncodeFloat(Float64, f)) != f && !math.IsNaN(f) {
+			return false
+		}
+		f32 := float64(float32(f))
+		got := DecodeFloat(Float32, EncodeFloat(Float32, f))
+		return math.IsNaN(f32) || got == f32
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeClampsFloatToIntRange(t *testing.T) {
+	if got := DecodeInt(Int8, Encode(Int8, 1e9)); got != 127 {
+		t.Errorf("clamp high: got %d", got)
+	}
+	if got := DecodeInt(Int8, Encode(Int8, -1e9)); got != -128 {
+		t.Errorf("clamp low: got %d", got)
+	}
+	if got := DecodeInt(Int16, Encode(Int16, math.NaN())); got != 0 {
+		t.Errorf("NaN to int: got %d, want 0", got)
+	}
+	if got := DecodeInt(Int16, Encode(Int16, 12.9)); got != 12 {
+		t.Errorf("truncation toward zero: got %d, want 12", got)
+	}
+	if got := DecodeInt(Int16, Encode(Int16, -12.9)); got != -12 {
+		t.Errorf("truncation toward zero: got %d, want -12", got)
+	}
+}
+
+// Property: PutRaw/GetRaw round-trips through the byte layout for every
+// type — the property the fuzz driver's memcpy segmentation relies on.
+func TestPutGetRawRoundTrip(t *testing.T) {
+	prop := func(raw uint64) bool {
+		buf := make([]byte, 8)
+		for _, dt := range allTypes {
+			masked := raw
+			if dt.Size() < 8 {
+				masked &= (1 << uint(dt.Size()*8)) - 1
+			}
+			PutRaw(dt, buf, masked)
+			if GetRaw(dt, buf) != masked {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if !Truth(Int8, EncodeInt(Int8, -5)) {
+		t.Error("negative is logically true")
+	}
+	if Truth(Float64, EncodeFloat(Float64, 0)) {
+		t.Error("0.0 is logically false")
+	}
+	if !Truth(Float32, EncodeFloat(Float32, -0.5)) {
+		t.Error("-0.5 is logically true")
+	}
+	if Truth(Bool, 0) {
+		t.Error("false is false")
+	}
+}
+
+// Property: Cast(to, from, x) equals Encode(to, value-of(x)) for integer
+// sources (the C assignment semantics both engines share).
+func TestCastMatchesEncodeForInts(t *testing.T) {
+	prop := func(v int32) bool {
+		for _, from := range []DType{Int8, Int16, Int32, UInt8, UInt16, UInt32} {
+			raw := EncodeInt(from, int64(v))
+			val := DecodeInt(from, raw)
+			for _, to := range allTypes {
+				want := EncodeInt(to, val)
+				if to.IsFloat() {
+					want = EncodeFloat(to, float64(val))
+				}
+				if Cast(to, from, raw) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCastIdentity(t *testing.T) {
+	for _, dt := range allTypes {
+		raw := Encode(dt, 7)
+		if Cast(dt, dt, raw) != raw {
+			t.Errorf("%s: identity cast changed value", dt)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate performs structural checks that do not require the block catalog:
+// line endpoints exist, no input port has two drivers, block names are unique
+// within a graph, port-block indexes are unique, and nested graphs are sound.
+// Semantic checks (port counts, type inference) live in the blocks package.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return errors.New("model: empty model name")
+	}
+	return validateGraph(&m.Root, m.Name)
+}
+
+func validateGraph(g *Graph, path string) error {
+	names := make(map[string]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b == nil {
+			return fmt.Errorf("model: %s: nil block at index %d", path, i)
+		}
+		if int(b.ID) != i {
+			return fmt.Errorf("model: %s/%s: block ID %d does not match index %d", path, b.Name, b.ID, i)
+		}
+		if b.Name == "" {
+			return fmt.Errorf("model: %s: block %d has empty name", path, i)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("model: %s: duplicate block name %q", path, b.Name)
+		}
+		names[b.Name] = true
+	}
+
+	seenDst := make(map[PortRef]bool, len(g.Lines))
+	for _, l := range g.Lines {
+		if g.Block(l.Src.Block) == nil {
+			return fmt.Errorf("model: %s: line source references missing block %d", path, l.Src.Block)
+		}
+		if g.Block(l.Dst.Block) == nil {
+			return fmt.Errorf("model: %s: line destination references missing block %d", path, l.Dst.Block)
+		}
+		if l.Src.Port < 0 || l.Dst.Port < 0 {
+			return fmt.Errorf("model: %s: negative port index on line %v->%v", path, l.Src, l.Dst)
+		}
+		if seenDst[l.Dst] {
+			b := g.Block(l.Dst.Block)
+			return fmt.Errorf("model: %s/%s: input port %d has multiple drivers", path, b.Name, l.Dst.Port)
+		}
+		seenDst[l.Dst] = true
+	}
+
+	if err := validatePortIndexes(g, path, "Inport"); err != nil {
+		return err
+	}
+	if err := validatePortIndexes(g, path, "Outport"); err != nil {
+		return err
+	}
+
+	for _, b := range g.Blocks {
+		if b.Sub != nil {
+			if err := validateGraph(b.Sub, path+"/"+b.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validatePortIndexes(g *Graph, path, kind string) error {
+	seen := make(map[int64]string)
+	for _, b := range g.BlocksOfKind(kind) {
+		idx := b.Params.Int("Index", 0)
+		if idx <= 0 {
+			return fmt.Errorf("model: %s/%s: %s index must be positive, got %d", path, b.Name, kind, idx)
+		}
+		if prev, dup := seen[idx]; dup {
+			return fmt.Errorf("model: %s: %s blocks %q and %q share index %d", path, prev, b.Name, kind, idx)
+		}
+		seen[idx] = b.Name
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package schedule computes the block execution order — the paper's
+// "Schedule Convert" stage. For every graph in the hierarchy it produces a
+// topological order of the blocks over the direct-feedthrough data
+// dependencies, treating subsystems as atomic units, and reports algebraic
+// loops (cycles not broken by a delay) as errors.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cftcg/internal/blocks"
+	"cftcg/internal/model"
+)
+
+// Compute fills in the Order field of every GraphInfo in the design. The
+// order is deterministic: among ready blocks, lower block IDs run first,
+// which mirrors Simulink's stable sorted-order semantics.
+func Compute(d *blocks.Design) error {
+	return computeGraph(d.Root)
+}
+
+func computeGraph(gi *blocks.GraphInfo) error {
+	order, err := sortGraph(gi)
+	if err != nil {
+		return err
+	}
+	gi.Order = order
+	for _, child := range gi.Children {
+		if err := computeGraph(child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortGraph runs Kahn's algorithm over the feedthrough dependency edges.
+func sortGraph(gi *blocks.GraphInfo) ([]model.BlockID, error) {
+	n := len(gi.Graph.Blocks)
+	indeg := make([]int, n)
+	succ := make([][]model.BlockID, n)
+
+	for _, l := range gi.Graph.Lines {
+		feed := gi.Feed[l.Dst.Block]
+		if l.Dst.Port >= len(feed) || !feed[l.Dst.Port] {
+			continue // delayed port: consumed next step, no ordering edge
+		}
+		if l.Src.Block == l.Dst.Block {
+			return nil, algebraicLoopError(gi, []model.BlockID{l.Src.Block})
+		}
+		succ[l.Src.Block] = append(succ[l.Src.Block], l.Dst.Block)
+		indeg[l.Dst.Block]++
+	}
+
+	ready := make([]model.BlockID, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			ready = append(ready, model.BlockID(id))
+		}
+	}
+
+	order := make([]model.BlockID, 0, n)
+	for len(ready) > 0 {
+		// Stable: lowest ID first. The ready set stays small, so a sort
+		// per pop is cheap and keeps the schedule reproducible.
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+
+	if len(order) != n {
+		var loop []model.BlockID
+		for id := 0; id < n; id++ {
+			if indeg[id] > 0 {
+				loop = append(loop, model.BlockID(id))
+			}
+		}
+		return nil, algebraicLoopError(gi, loop)
+	}
+	return order, nil
+}
+
+func algebraicLoopError(gi *blocks.GraphInfo, ids []model.BlockID) error {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = gi.Graph.Block(id).Name
+	}
+	return fmt.Errorf("schedule: %s: algebraic loop involving blocks [%s] — insert a UnitDelay (with an explicit Type if needed) to break it",
+		gi.Path, strings.Join(names, ", "))
+}

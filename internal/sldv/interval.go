@@ -1,0 +1,245 @@
+// Package sldv is the constraint-solving baseline of the evaluation: a
+// bounded-model-checking-style test generator in the spirit of Simulink
+// Design Verifier. It explores the model's bounded-depth input space by
+// interval constraint propagation: abstract execution of the compiled IR
+// over input boxes, DFS bisection of boxes whose path is not yet determined,
+// and concrete witness execution once a box's behaviour is proved uniform.
+//
+// The method is exact on shallow combinational logic (boxes become
+// determinate after a few splits) and blows up combinatorially with state
+// depth — the number of box dimensions grows linearly with the unrolling
+// depth and the search frontier grows exponentially, reproducing the state
+// space explosion and memory growth the paper reports for SLDV (§1, §4).
+package sldv
+
+import (
+	"math"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// itv is a closed interval over the reals. Every supported signal value is
+// exactly representable in float64, so [lo, hi] bounds are exact for
+// integers and conservative for floats.
+type itv struct{ lo, hi float64 }
+
+func point(v float64) itv     { return itv{v, v} }
+func span(lo, hi float64) itv { return itv{lo, hi} }
+func (a itv) isPoint() bool   { return a.lo == a.hi }
+func (a itv) width() float64  { return a.hi - a.lo }
+func (a itv) mid() float64    { return a.lo + (a.hi-a.lo)/2 }
+func (a itv) contains0() bool { return a.lo <= 0 && a.hi >= 0 }
+func (a itv) hull(b itv) itv  { return itv{math.Min(a.lo, b.lo), math.Max(a.hi, b.hi)} }
+
+// typeRange returns the full value range of a data type (floats bounded to
+// the solver's working range — SLDV likewise solves over bounded reals).
+func typeRange(dt model.DType) itv {
+	if dt.IsFloat() {
+		return span(-1e9, 1e9)
+	}
+	return span(float64(dt.MinInt()), float64(dt.MaxInt()))
+}
+
+// tri is three-valued truth for abstract branch conditions.
+type tri uint8
+
+const (
+	triFalse tri = iota
+	triTrue
+	triMixed
+)
+
+func triOf(canFalse, canTrue bool) tri {
+	switch {
+	case canTrue && canFalse:
+		return triMixed
+	case canTrue:
+		return triTrue
+	default:
+		return triFalse
+	}
+}
+
+// truth interprets an interval as a logical condition.
+func (a itv) truth() tri {
+	canTrue := a.lo != 0 || a.hi != 0
+	canFalse := a.contains0()
+	return triOf(canFalse, canTrue)
+}
+
+func add(a, b itv) itv { return itv{a.lo + b.lo, a.hi + b.hi} }
+func sub(a, b itv) itv { return itv{a.lo - b.hi, a.hi - b.lo} }
+
+func mul(a, b itv) itv {
+	p1, p2, p3, p4 := a.lo*b.lo, a.lo*b.hi, a.hi*b.lo, a.hi*b.hi
+	return itv{min4(p1, p2, p3, p4), max4(p1, p2, p3, p4)}
+}
+
+// div is conservative: a divisor interval containing zero yields the hull of
+// the quotient extremes and the total-definition value 0.
+func div(a, b itv) itv {
+	if b.contains0() {
+		if b.isPoint() { // exactly zero: total definition x/0 = 0
+			return point(0)
+		}
+		// Mixed-sign divisor: quotient can be arbitrarily large.
+		return span(math.Inf(-1), math.Inf(1))
+	}
+	p1, p2, p3, p4 := a.lo/b.lo, a.lo/b.hi, a.hi/b.lo, a.hi/b.hi
+	return itv{min4(p1, p2, p3, p4), max4(p1, p2, p3, p4)}
+}
+
+func minI(a, b itv) itv { return itv{math.Min(a.lo, b.lo), math.Min(a.hi, b.hi)} }
+func maxI(a, b itv) itv { return itv{math.Max(a.lo, b.lo), math.Max(a.hi, b.hi)} }
+
+func negI(a itv) itv { return itv{-a.hi, -a.lo} }
+
+func absI(a itv) itv {
+	if a.lo >= 0 {
+		return a
+	}
+	if a.hi <= 0 {
+		return itv{-a.hi, -a.lo}
+	}
+	return itv{0, math.Max(-a.lo, a.hi)}
+}
+
+// cmp evaluates a relational op over intervals three-valued.
+func cmp(op ir.Op, a, b itv) tri {
+	switch op {
+	case ir.OpLt:
+		return triOf(a.hi >= b.lo, a.lo < b.hi) // canFalse: exists x>=y; canTrue: exists x<y
+	case ir.OpLe:
+		return triOf(a.hi > b.lo, a.lo <= b.hi)
+	case ir.OpGt:
+		return triOf(a.lo <= b.hi, a.hi > b.lo)
+	case ir.OpGe:
+		return triOf(a.lo < b.hi, a.hi >= b.lo)
+	case ir.OpEq:
+		if a.isPoint() && b.isPoint() {
+			return triOf(a.lo != b.lo, a.lo == b.lo)
+		}
+		overlap := a.hi >= b.lo && b.hi >= a.lo
+		return triOf(!(a.isPoint() && b.isPoint() && a.lo == b.lo), overlap)
+	case ir.OpNe:
+		t := cmp(ir.OpEq, a, b)
+		switch t {
+		case triTrue:
+			return triFalse
+		case triFalse:
+			return triTrue
+		}
+		return triMixed
+	}
+	return triMixed
+}
+
+// triToItv embeds a three-valued bool into an interval register.
+func triToItv(t tri) itv {
+	switch t {
+	case triTrue:
+		return point(1)
+	case triFalse:
+		return point(0)
+	}
+	return span(0, 1)
+}
+
+// castI converts an interval between types: clamping semantics for
+// float->int is conservative; integer narrowing that can wrap widens to the
+// full target range (sound for two's-complement wrap).
+func castI(to, from model.DType, a itv) itv {
+	if to.IsFloat() {
+		return a
+	}
+	lo := math.Trunc(a.lo)
+	hi := math.Trunc(a.hi)
+	if from.IsFloat() {
+		// Encode clamps to the target bounds.
+		r := typeRange(to)
+		return itv{clamp(lo, r), clamp(hi, r)}
+	}
+	r := typeRange(to)
+	if lo < r.lo || hi > r.hi {
+		return r // may wrap: widen
+	}
+	return itv{lo, hi}
+}
+
+func clamp(v float64, r itv) float64 {
+	if v < r.lo {
+		return r.lo
+	}
+	if v > r.hi {
+		return r.hi
+	}
+	return v
+}
+
+// wrapArith re-bounds an integer arithmetic result: overflow widens to the
+// full type range (wrap is sound but imprecise).
+func wrapArith(dt model.DType, a itv) itv {
+	if dt.IsFloat() {
+		return a
+	}
+	r := typeRange(dt)
+	if a.lo < r.lo || a.hi > r.hi {
+		return r
+	}
+	return itv{math.Trunc(a.lo), math.Trunc(a.hi)}
+}
+
+// mathFn evaluates the unary math functions over intervals (monotone
+// functions exactly; trigonometric functions conservatively as [-1, 1]).
+func mathFn(op ir.Op, a itv) itv {
+	switch op {
+	case ir.OpSqrt:
+		lo, hi := a.lo, a.hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi < 0 {
+			hi = 0
+		}
+		return itv{math.Sqrt(lo), math.Sqrt(hi)}
+	case ir.OpExp:
+		return itv{math.Exp(a.lo), math.Exp(a.hi)}
+	case ir.OpLog:
+		// log is defined as 0 for non-positive inputs.
+		if a.hi <= 0 {
+			return point(0)
+		}
+		hi := math.Log(a.hi)
+		if a.lo <= 0 {
+			// Domain touches (0, eps]: log unbounded below; 0 included.
+			return itv{math.Inf(-1), math.Max(hi, 0)}
+		}
+		return itv{math.Log(a.lo), hi}
+	case ir.OpSin, ir.OpCos:
+		if a.isPoint() {
+			if op == ir.OpSin {
+				return point(math.Sin(a.lo))
+			}
+			return point(math.Cos(a.lo))
+		}
+		return span(-1, 1)
+	case ir.OpTan:
+		if a.isPoint() {
+			return point(math.Tan(a.lo))
+		}
+		return span(math.Inf(-1), math.Inf(1))
+	case ir.OpFloor:
+		return itv{math.Floor(a.lo), math.Floor(a.hi)}
+	case ir.OpCeil:
+		return itv{math.Ceil(a.lo), math.Ceil(a.hi)}
+	case ir.OpRound:
+		return itv{math.Round(a.lo), math.Round(a.hi)}
+	case ir.OpTrunc:
+		return itv{math.Trunc(a.lo), math.Trunc(a.hi)}
+	}
+	return a
+}
+
+func min4(a, b, c, d float64) float64 { return math.Min(math.Min(a, b), math.Min(c, d)) }
+func max4(a, b, c, d float64) float64 { return math.Max(math.Max(a, b), math.Max(c, d)) }

@@ -1,0 +1,182 @@
+package sldv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// Property: interval arithmetic is sound — for random intervals and random
+// points inside them, the concrete result lies inside the abstract result.
+func TestIntervalArithmeticSoundness(t *testing.T) {
+	ops := []struct {
+		name string
+		abs  func(a, b itv) itv
+		con  func(x, y float64) float64
+	}{
+		{"add", add, func(x, y float64) float64 { return x + y }},
+		{"sub", sub, func(x, y float64) float64 { return x - y }},
+		{"mul", mul, func(x, y float64) float64 { return x * y }},
+		{"div", div, func(x, y float64) float64 {
+			if y == 0 {
+				return 0
+			}
+			return x / y
+		}},
+		{"min", minI, math.Min},
+		{"max", maxI, math.Max},
+	}
+	rng := rand.New(rand.NewSource(2))
+	mk := func() (itv, float64) {
+		a := rng.NormFloat64() * 100
+		b := a + rng.Float64()*100
+		x := a + rng.Float64()*(b-a)
+		return itv{a, b}, x
+	}
+	for _, op := range ops {
+		for trial := 0; trial < 2000; trial++ {
+			ia, x := mk()
+			ib, y := mk()
+			res := op.abs(ia, ib)
+			v := op.con(x, y)
+			if v < res.lo-1e-9 || v > res.hi+1e-9 {
+				t.Fatalf("%s unsound: %v op %v = [%v,%v] but %v op %v = %v",
+					op.name, ia, ib, res.lo, res.hi, x, y, v)
+			}
+		}
+	}
+}
+
+// Property: comparison three-valued results are sound — if the abstract
+// verdict is definite, every concrete pair must agree.
+func TestCompareSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	relOps := []struct {
+		op  ir.Op
+		ref func(x, y float64) bool
+	}{
+		{ir.OpLt, func(x, y float64) bool { return x < y }},
+		{ir.OpLe, func(x, y float64) bool { return x <= y }},
+		{ir.OpGt, func(x, y float64) bool { return x > y }},
+		{ir.OpGe, func(x, y float64) bool { return x >= y }},
+		{ir.OpEq, func(x, y float64) bool { return x == y }},
+		{ir.OpNe, func(x, y float64) bool { return x != y }},
+	}
+	for trial := 0; trial < 3000; trial++ {
+		lo1 := float64(rng.Intn(21) - 10)
+		hi1 := lo1 + float64(rng.Intn(5))
+		lo2 := float64(rng.Intn(21) - 10)
+		hi2 := lo2 + float64(rng.Intn(5))
+		ia, ib := itv{lo1, hi1}, itv{lo2, hi2}
+		for _, rel := range relOps {
+			verdict := cmp(rel.op, ia, ib)
+			if verdict == triMixed {
+				continue
+			}
+			// Sample concrete integer points.
+			for x := lo1; x <= hi1; x++ {
+				for y := lo2; y <= hi2; y++ {
+					got := rel.ref(x, y)
+					if verdict == triTrue && !got {
+						t.Fatalf("%v: [%v,%v] vs [%v,%v] claimed always-true but %v,%v is false",
+							rel.op, lo1, hi1, lo2, hi2, x, y)
+					}
+					if verdict == triFalse && got {
+						t.Fatalf("%v: [%v,%v] vs [%v,%v] claimed always-false but %v,%v is true",
+							rel.op, lo1, hi1, lo2, hi2, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAbsNegSoundness(t *testing.T) {
+	prop := func(a, w, frac float64) bool {
+		lo := math.Mod(a, 1000)
+		width := math.Abs(math.Mod(w, 100))
+		x := lo + math.Abs(math.Mod(frac, 1))*width
+		ia := itv{lo, lo + width}
+		r1 := absI(ia)
+		if v := math.Abs(x); v < r1.lo-1e-9 || v > r1.hi+1e-9 {
+			return false
+		}
+		r2 := negI(ia)
+		if v := -x; v < r2.lo-1e-9 || v > r2.hi+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruthTri(t *testing.T) {
+	if point(0).truth() != triFalse {
+		t.Error("point 0 must be definitely false")
+	}
+	if point(3).truth() != triTrue {
+		t.Error("point 3 must be definitely true")
+	}
+	if span(-1, 1).truth() != triMixed {
+		t.Error("interval through 0 must be mixed")
+	}
+	if span(1, 5).truth() != triTrue {
+		t.Error("positive interval must be true")
+	}
+}
+
+func TestCastWidensOnOverflow(t *testing.T) {
+	// int32 value range cast to int8: wraps, so must widen to full range.
+	r := castI(model.Int8, model.Int32, span(0, 1000))
+	full := typeRange(model.Int8)
+	if r.lo != full.lo || r.hi != full.hi {
+		t.Errorf("overflowing cast must widen: got [%v,%v]", r.lo, r.hi)
+	}
+	// In-range cast stays tight.
+	r = castI(model.Int8, model.Int32, span(-5, 5))
+	if r.lo != -5 || r.hi != 5 {
+		t.Errorf("in-range cast must stay tight: [%v,%v]", r.lo, r.hi)
+	}
+	// float -> int clamps.
+	r = castI(model.UInt8, model.Float64, span(-10, 300))
+	if r.lo != 0 || r.hi != 255 {
+		t.Errorf("float->int clamp: [%v,%v]", r.lo, r.hi)
+	}
+}
+
+func TestMathFnMonotone(t *testing.T) {
+	r := mathFn(ir.OpSqrt, span(4, 9))
+	if r.lo != 2 || r.hi != 3 {
+		t.Errorf("sqrt interval: [%v,%v]", r.lo, r.hi)
+	}
+	r = mathFn(ir.OpSqrt, span(-4, 9))
+	if r.lo != 0 || r.hi != 3 {
+		t.Errorf("sqrt with negative domain: [%v,%v]", r.lo, r.hi)
+	}
+	r = mathFn(ir.OpSin, span(0, 10))
+	if r.lo != -1 || r.hi != 1 {
+		t.Errorf("sin wide interval: [%v,%v]", r.lo, r.hi)
+	}
+	r = mathFn(ir.OpFloor, span(1.5, 2.7))
+	if r.lo != 1 || r.hi != 2 {
+		t.Errorf("floor: [%v,%v]", r.lo, r.hi)
+	}
+}
+
+func TestMathFloorNegative(t *testing.T) {
+	if mathFloor(-0.5) != -1 {
+		t.Error("mathFloor(-0.5) must be -1")
+	}
+	if mathFloor(2.9) != 2 {
+		t.Error("mathFloor(2.9) must be 2")
+	}
+	if mathFloor(-3) != -3 {
+		t.Error("mathFloor(-3) must be -3")
+	}
+}

@@ -1,0 +1,412 @@
+// Package slxml reads and writes models in an .slx-like container: a zip
+// archive holding an XML description of the block diagram, charts and
+// scripts. Simulink's .slx is exactly such a zip-of-XML bundle; the paper's
+// tool loads it with Unzip + TinyXML, and this package is that loader's
+// equivalent (stdlib archive/zip + encoding/xml).
+package slxml
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cftcg/internal/model"
+	"cftcg/internal/stateflow"
+)
+
+// ModelFileName is the diagram entry inside the archive.
+const ModelFileName = "simulink/model.xml"
+
+// xml document types -----------------------------------------------------
+
+type xModel struct {
+	XMLName    xml.Name `xml:"Model"`
+	Name       string   `xml:"name,attr"`
+	SampleTime float64  `xml:"sampleTime,attr"`
+	Graph      xGraph   `xml:"Graph"`
+}
+
+type xGraph struct {
+	Blocks []xBlock `xml:"Block"`
+	Lines  []xLine  `xml:"Line"`
+}
+
+type xBlock struct {
+	ID     int      `xml:"id,attr"`
+	Name   string   `xml:"name,attr"`
+	Kind   string   `xml:"kind,attr"`
+	Params []xParam `xml:"P"`
+	Script string   `xml:"Script,omitempty"`
+	Graph  *xGraph  `xml:"Graph,omitempty"`
+	Chart  *xChart  `xml:"Chart,omitempty"`
+}
+
+type xParam struct {
+	Name  string   `xml:"name,attr"`
+	Type  string   `xml:"type,attr"`
+	Value string   `xml:",chardata"`
+	Items []string `xml:"Item,omitempty"`
+}
+
+type xLine struct {
+	SrcBlock int `xml:"srcBlock,attr"`
+	SrcPort  int `xml:"srcPort,attr"`
+	DstBlock int `xml:"dstBlock,attr"`
+	DstPort  int `xml:"dstPort,attr"`
+}
+
+type xChart struct {
+	Name        string        `xml:"name,attr"`
+	Initial     string        `xml:"initial,attr"`
+	Data        []xChartData  `xml:"Data"`
+	States      []xState      `xml:"State"`
+	Transitions []xTransition `xml:"Transition"`
+}
+
+type xChartData struct {
+	Class string  `xml:"class,attr"` // input | output | local
+	Name  string  `xml:"name,attr"`
+	Type  string  `xml:"type,attr"`
+	Init  float64 `xml:"init,attr"`
+}
+
+type xState struct {
+	Name    string `xml:"name,attr"`
+	Parent  string `xml:"parent,attr,omitempty"`
+	Initial string `xml:"initial,attr,omitempty"`
+	Entry   string `xml:"Entry,omitempty"`
+	During  string `xml:"During,omitempty"`
+	Exit    string `xml:"Exit,omitempty"`
+}
+
+type xTransition struct {
+	From     string `xml:"from,attr"`
+	To       string `xml:"to,attr"`
+	Priority int    `xml:"priority,attr"`
+	Guard    string `xml:"Guard,omitempty"`
+	Action   string `xml:"Action,omitempty"`
+}
+
+// Write serializes the model into the zip container.
+func Write(w io.Writer, m *model.Model) error {
+	doc, err := encodeModel(m)
+	if err != nil {
+		return err
+	}
+	data, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("slxml: marshal: %w", err)
+	}
+	zw := zip.NewWriter(w)
+	f, err := zw.Create(ModelFileName)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(xml.Header)); err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Read parses a model from the zip container.
+func Read(r io.ReaderAt, size int64) (*model.Model, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("slxml: not a model archive: %w", err)
+	}
+	var payload []byte
+	for _, f := range zr.File {
+		if f.Name == ModelFileName {
+			rc, err := f.Open()
+			if err != nil {
+				return nil, err
+			}
+			payload, err = io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("slxml: archive has no %s entry", ModelFileName)
+	}
+	var doc xModel
+	if err := xml.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("slxml: parse: %w", err)
+	}
+	return decodeModel(&doc)
+}
+
+// ReadBytes parses a model from an in-memory archive.
+func ReadBytes(data []byte) (*model.Model, error) {
+	return Read(bytes.NewReader(data), int64(len(data)))
+}
+
+// WriteBytes serializes a model to an in-memory archive.
+func WriteBytes(m *model.Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// --- encoding ---------------------------------------------------------------
+
+func encodeModel(m *model.Model) (*xModel, error) {
+	g, err := encodeGraph(&m.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &xModel{Name: m.Name, SampleTime: m.SampleTime, Graph: *g}, nil
+}
+
+func encodeGraph(g *model.Graph) (*xGraph, error) {
+	out := &xGraph{}
+	for _, b := range g.Blocks {
+		xb := xBlock{ID: int(b.ID), Name: b.Name, Kind: b.Kind, Script: b.Script}
+		for _, key := range b.Params.Keys() {
+			p, err := encodeParam(key, b.Params[key])
+			if err != nil {
+				return nil, fmt.Errorf("slxml: block %s: %w", b.Name, err)
+			}
+			xb.Params = append(xb.Params, p)
+		}
+		if b.Sub != nil {
+			sub, err := encodeGraph(b.Sub)
+			if err != nil {
+				return nil, err
+			}
+			xb.Graph = sub
+		}
+		if b.ChartSpec != nil {
+			c, ok := b.ChartSpec.(*stateflow.Chart)
+			if !ok {
+				return nil, fmt.Errorf("slxml: block %s: unsupported chart payload %T", b.Name, b.ChartSpec)
+			}
+			xb.Chart = encodeChart(c)
+		}
+		out.Blocks = append(out.Blocks, xb)
+	}
+	for _, l := range g.Lines {
+		out.Lines = append(out.Lines, xLine{
+			SrcBlock: int(l.Src.Block), SrcPort: l.Src.Port,
+			DstBlock: int(l.Dst.Block), DstPort: l.Dst.Port,
+		})
+	}
+	return out, nil
+}
+
+func encodeParam(key string, v any) (xParam, error) {
+	p := xParam{Name: key}
+	switch x := v.(type) {
+	case float64:
+		p.Type = "double"
+		p.Value = strconv.FormatFloat(x, 'g', -1, 64)
+	case int:
+		p.Type = "int"
+		p.Value = strconv.Itoa(x)
+	case int64:
+		p.Type = "int"
+		p.Value = strconv.FormatInt(x, 10)
+	case bool:
+		p.Type = "bool"
+		p.Value = strconv.FormatBool(x)
+	case string:
+		p.Type = "string"
+		p.Value = x
+	case model.DType:
+		p.Type = "dtype"
+		p.Value = x.String()
+	case []float64:
+		p.Type = "doubles"
+		parts := make([]string, len(x))
+		for i, f := range x {
+			parts[i] = strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		p.Value = strings.Join(parts, " ")
+	case []int64:
+		p.Type = "ints"
+		parts := make([]string, len(x))
+		for i, n := range x {
+			parts[i] = strconv.FormatInt(n, 10)
+		}
+		p.Value = strings.Join(parts, " ")
+	case []string:
+		p.Type = "strings"
+		p.Items = x
+	default:
+		return p, fmt.Errorf("unsupported parameter type %T for %q", v, key)
+	}
+	return p, nil
+}
+
+func encodeChart(c *stateflow.Chart) *xChart {
+	xc := &xChart{Name: c.Name, Initial: c.Initial}
+	addData := func(class string, vars []stateflow.Var) {
+		for _, v := range vars {
+			xc.Data = append(xc.Data, xChartData{Class: class, Name: v.Name, Type: v.Type.String(), Init: v.Init})
+		}
+	}
+	addData("input", c.Inputs)
+	addData("output", c.Outputs)
+	addData("local", c.Locals)
+	for _, s := range c.States {
+		xc.States = append(xc.States, xState{
+			Name: s.Name, Parent: s.Parent, Initial: s.Initial,
+			Entry: s.Entry, During: s.During, Exit: s.Exit,
+		})
+	}
+	for _, t := range c.Transitions {
+		xc.Transitions = append(xc.Transitions, xTransition{
+			From: t.From, To: t.To, Priority: t.Priority, Guard: t.Guard, Action: t.Action,
+		})
+	}
+	return xc
+}
+
+// --- decoding ---------------------------------------------------------------
+
+func decodeModel(doc *xModel) (*model.Model, error) {
+	if doc.Name == "" {
+		return nil, fmt.Errorf("slxml: model has no name")
+	}
+	g, err := decodeGraph(&doc.Graph)
+	if err != nil {
+		return nil, err
+	}
+	m := &model.Model{Name: doc.Name, Root: *g, SampleTime: doc.SampleTime}
+	if m.SampleTime == 0 {
+		m.SampleTime = 0.01
+	}
+	return m, m.Validate()
+}
+
+func decodeGraph(xg *xGraph) (*model.Graph, error) {
+	g := &model.Graph{}
+	for i, xb := range xg.Blocks {
+		if xb.ID != i {
+			return nil, fmt.Errorf("slxml: block %q: id %d out of order (expected %d)", xb.Name, xb.ID, i)
+		}
+		b := &model.Block{
+			ID:     model.BlockID(i),
+			Name:   xb.Name,
+			Kind:   xb.Kind,
+			Params: model.Params{},
+			Script: xb.Script,
+		}
+		for _, p := range xb.Params {
+			v, err := decodeParam(p)
+			if err != nil {
+				return nil, fmt.Errorf("slxml: block %s: %w", xb.Name, err)
+			}
+			b.Params[p.Name] = v
+		}
+		if xb.Graph != nil {
+			sub, err := decodeGraph(xb.Graph)
+			if err != nil {
+				return nil, err
+			}
+			b.Sub = sub
+		}
+		if xb.Chart != nil {
+			c, err := decodeChart(xb.Chart)
+			if err != nil {
+				return nil, err
+			}
+			b.ChartSpec = c
+		}
+		g.Blocks = append(g.Blocks, b)
+	}
+	for _, l := range xg.Lines {
+		g.Lines = append(g.Lines, model.Line{
+			Src: model.PortRef{Block: model.BlockID(l.SrcBlock), Port: l.SrcPort},
+			Dst: model.PortRef{Block: model.BlockID(l.DstBlock), Port: l.DstPort},
+		})
+	}
+	return g, nil
+}
+
+func decodeParam(p xParam) (any, error) {
+	val := strings.TrimSpace(p.Value)
+	switch p.Type {
+	case "double":
+		return strconv.ParseFloat(val, 64)
+	case "int":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	case "bool":
+		return strconv.ParseBool(val)
+	case "string":
+		return p.Value, nil
+	case "dtype":
+		return model.ParseDType(val)
+	case "doubles":
+		var out []float64
+		for _, part := range strings.Fields(val) {
+			f, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	case "ints":
+		var out []int64
+		for _, part := range strings.Fields(val) {
+			n, err := strconv.ParseInt(part, 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	case "strings":
+		return append([]string(nil), p.Items...), nil
+	}
+	return nil, fmt.Errorf("unknown parameter encoding %q for %q", p.Type, p.Name)
+}
+
+func decodeChart(xc *xChart) (*stateflow.Chart, error) {
+	c := &stateflow.Chart{Name: xc.Name, Initial: xc.Initial}
+	for _, d := range xc.Data {
+		dt, err := model.ParseDType(d.Type)
+		if err != nil {
+			return nil, fmt.Errorf("slxml: chart %s data %s: %w", xc.Name, d.Name, err)
+		}
+		v := stateflow.Var{Name: d.Name, Type: dt, Init: d.Init}
+		switch d.Class {
+		case "input":
+			c.Inputs = append(c.Inputs, v)
+		case "output":
+			c.Outputs = append(c.Outputs, v)
+		case "local":
+			c.Locals = append(c.Locals, v)
+		default:
+			return nil, fmt.Errorf("slxml: chart %s: unknown data class %q", xc.Name, d.Class)
+		}
+	}
+	for _, s := range xc.States {
+		c.States = append(c.States, &stateflow.State{
+			Name: s.Name, Parent: s.Parent, Initial: s.Initial,
+			Entry: s.Entry, During: s.During, Exit: s.Exit,
+		})
+	}
+	for _, t := range xc.Transitions {
+		c.Transitions = append(c.Transitions, &stateflow.Transition{
+			From: t.From, To: t.To, Priority: t.Priority, Guard: t.Guard, Action: t.Action,
+		})
+	}
+	return c, c.Validate()
+}

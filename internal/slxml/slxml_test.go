@@ -1,0 +1,90 @@
+package slxml
+
+import (
+	"bytes"
+	"testing"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+)
+
+// TestRoundTripBenchmarks serializes every benchmark model to the container
+// format, reads it back, and requires the reparsed model to compile to an
+// identical instrumented program — structural equality at the strongest
+// level the pipeline offers.
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, e := range benchmodels.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			orig := e.Build()
+			blob, err := WriteBytes(orig)
+			if err != nil {
+				t.Fatalf("WriteBytes: %v", err)
+			}
+			back, err := ReadBytes(blob)
+			if err != nil {
+				t.Fatalf("ReadBytes: %v", err)
+			}
+
+			c1, err := codegen.Compile(orig)
+			if err != nil {
+				t.Fatalf("compile original: %v", err)
+			}
+			c2, err := codegen.Compile(back)
+			if err != nil {
+				t.Fatalf("compile round-tripped: %v", err)
+			}
+			if c1.Plan.NumBranches != c2.Plan.NumBranches {
+				t.Errorf("branch count changed: %d -> %d", c1.Plan.NumBranches, c2.Plan.NumBranches)
+			}
+			if len(c1.Prog.Step) != len(c2.Prog.Step) {
+				t.Errorf("step program length changed: %d -> %d", len(c1.Prog.Step), len(c2.Prog.Step))
+			}
+			// Second serialization must be byte-identical (canonical form).
+			blob2, err := WriteBytes(back)
+			if err != nil {
+				t.Fatalf("re-serialize: %v", err)
+			}
+			m1, err := ReadBytes(blob2)
+			if err != nil {
+				t.Fatalf("re-read: %v", err)
+			}
+			blob3, err := WriteBytes(m1)
+			if err != nil {
+				t.Fatalf("re-serialize 2: %v", err)
+			}
+			if !bytes.Equal(payloadOf(t, blob2), payloadOf(t, blob3)) {
+				t.Error("serialization is not canonical")
+			}
+		})
+	}
+}
+
+func payloadOf(t *testing.T, blob []byte) []byte {
+	t.Helper()
+	m, err := ReadBytes(blob)
+	if err != nil {
+		t.Fatalf("payloadOf: %v", err)
+	}
+	out, err := WriteBytes(m)
+	if err != nil {
+		t.Fatalf("payloadOf: %v", err)
+	}
+	return out
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadBytes([]byte("not a zip")); err == nil {
+		t.Error("expected error for non-archive input")
+	}
+}
+
+func TestReadRejectsMissingEntry(t *testing.T) {
+	// A valid empty zip has no model entry.
+	var buf bytes.Buffer
+	buf.Write([]byte{0x50, 0x4b, 0x05, 0x06})
+	buf.Write(make([]byte, 18))
+	if _, err := ReadBytes(buf.Bytes()); err == nil {
+		t.Error("expected error for archive without model.xml")
+	}
+}

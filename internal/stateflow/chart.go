@@ -1,0 +1,397 @@
+// Package stateflow models the Stateflow charts used by the benchmark
+// models: finite state machines with typed input/output/local data, guarded
+// prioritized transitions, and entry/during/exit actions written in the
+// mlfunc language.
+//
+// Semantics (a faithful subset of Stateflow's discrete-step execution):
+// charts are flat state machines. On the first step the initial state is
+// entered (its entry action runs during model initialization). On every
+// subsequent step, the outgoing transitions of the active state are evaluated
+// in priority order; the first transition whose guard holds fires: the active
+// state's exit action runs, then the transition action, then the target
+// state's entry action. If no transition fires, the active state's during
+// action runs. At most one transition fires per step.
+//
+// Every transition is a coverage decision (taken / not taken) and the leaf
+// boolean terms of its guard are coverage conditions — instrumentation mode
+// (d) of the paper's §3.1.2.
+package stateflow
+
+import (
+	"fmt"
+
+	"cftcg/internal/model"
+)
+
+// Var declares one item of chart data.
+type Var struct {
+	Name string
+	Type model.DType
+	Init float64
+}
+
+// State is one chart state with optional actions (mlfunc statement lists).
+// States may nest: Parent names the enclosing composite state ("" for top
+// level), and a composite state names its default child in Initial.
+type State struct {
+	Name   string
+	Parent string
+	// Initial is the default child entered when a transition targets this
+	// state directly (required iff the state has children).
+	Initial string
+	Entry   string
+	During  string
+	Exit    string
+}
+
+// Transition connects two states. Guard is an mlfunc boolean expression over
+// the chart's data ("" means always true); Action is an mlfunc statement
+// list run when the transition fires. Lower Priority fires first.
+type Transition struct {
+	From     string
+	To       string
+	Guard    string
+	Action   string
+	Priority int
+}
+
+// Label returns a human-readable identifier for coverage reports.
+func (t *Transition) Label() string {
+	g := t.Guard
+	if g == "" {
+		g = "true"
+	}
+	return fmt.Sprintf("%s->%s[%s]", t.From, t.To, g)
+}
+
+// Chart is a complete Stateflow chart specification.
+type Chart struct {
+	Name        string
+	Inputs      []Var
+	Outputs     []Var
+	Locals      []Var
+	States      []*State
+	Transitions []*Transition
+	Initial     string // name of the initial state
+}
+
+// State returns the named state, or nil.
+func (c *Chart) State(name string) *State {
+	for _, s := range c.States {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// StateIndex returns the dense index of the named state, or -1. The active
+// state is stored as this index in the generated code's state vector.
+func (c *Chart) StateIndex(name string) int {
+	for i, s := range c.States {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// From returns the outgoing transitions of a state sorted by priority
+// (stable for equal priorities, preserving declaration order).
+func (c *Chart) From(state string) []*Transition {
+	var out []*Transition
+	for _, t := range c.Transitions {
+		if t.From == state {
+			out = append(out, t)
+		}
+	}
+	// insertion sort by priority; transition lists are short
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Priority < out[j-1].Priority; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Children returns the direct children of the named state ("" = top level)
+// in declaration order.
+func (c *Chart) Children(name string) []*State {
+	var out []*State
+	for _, s := range c.States {
+		if s.Parent == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// IsLeaf reports whether the named state has no children.
+func (c *Chart) IsLeaf(name string) bool { return len(c.Children(name)) == 0 }
+
+// Leaves returns every leaf state in declaration order. The generated code
+// stores the active configuration as the index of its leaf.
+func (c *Chart) Leaves() []*State {
+	var out []*State
+	for _, s := range c.States {
+		if c.IsLeaf(s.Name) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Ancestors returns the chain from the named state's parent up to the top
+// (nearest first). Unknown names return nil.
+func (c *Chart) Ancestors(name string) []*State {
+	var out []*State
+	s := c.State(name)
+	for s != nil && s.Parent != "" {
+		p := c.State(s.Parent)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+		s = p
+	}
+	return out
+}
+
+// PathFromRoot returns the chain of states from the outermost ancestor down
+// to (and including) the named state.
+func (c *Chart) PathFromRoot(name string) []*State {
+	anc := c.Ancestors(name)
+	out := make([]*State, 0, len(anc)+1)
+	for i := len(anc) - 1; i >= 0; i-- {
+		out = append(out, anc[i])
+	}
+	if s := c.State(name); s != nil {
+		out = append(out, s)
+	}
+	return out
+}
+
+// DefaultDescend resolves a transition target to the leaf actually entered:
+// composite targets descend through their Initial chain. The returned slice
+// is the sequence of states entered below the target itself (entry order);
+// the final element is the leaf.
+func (c *Chart) DefaultDescend(name string) ([]*State, error) {
+	var entered []*State
+	s := c.State(name)
+	if s == nil {
+		return nil, fmt.Errorf("stateflow: chart %s: unknown state %q", c.Name, name)
+	}
+	for !c.IsLeaf(s.Name) {
+		if s.Initial == "" {
+			return nil, fmt.Errorf("stateflow: chart %s: composite state %q has no Initial child", c.Name, s.Name)
+		}
+		child := c.State(s.Initial)
+		if child == nil || child.Parent != s.Name {
+			return nil, fmt.Errorf("stateflow: chart %s: state %q Initial %q is not a child", c.Name, s.Name, s.Initial)
+		}
+		entered = append(entered, child)
+		s = child
+	}
+	return entered, nil
+}
+
+// LCA returns the name of the lowest common ancestor of two states ("" when
+// their only common scope is the chart root).
+func (c *Chart) LCA(a, b string) string {
+	seen := map[string]bool{}
+	for _, s := range c.PathFromRoot(a) {
+		seen[s.Name] = true
+	}
+	lca := ""
+	for _, s := range c.PathFromRoot(b) {
+		if seen[s.Name] {
+			lca = s.Name
+		}
+	}
+	return lca
+}
+
+// LeafIndex returns the dense index of the named state within Leaves(), or
+// -1. The generated code stores the active configuration as this index.
+func (c *Chart) LeafIndex(name string) int {
+	for i, s := range c.Leaves() {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FirePlan is the statically-computed effect of one transition firing while
+// a particular leaf is active: which states exit (innermost first), which
+// enter (outermost first), and the leaf that ends up active.
+type FirePlan struct {
+	Exits   []*State
+	Entries []*State
+	NewLeaf *State
+}
+
+// PlanFire computes the fire plan for transition t taken while `leaf` is the
+// active leaf (t.From must be leaf or one of its ancestors). Semantics
+// follow Stateflow/UML external transitions: the scope is the lowest common
+// ancestor of source and target (widened by one level when one contains the
+// other); everything inside the scope exits, the path to the target enters,
+// and composite targets descend through their default children.
+func (c *Chart) PlanFire(leaf string, t *Transition) (FirePlan, error) {
+	var plan FirePlan
+	scope := c.LCA(t.From, t.To)
+	if scope == t.From || scope == t.To {
+		if s := c.State(scope); s != nil {
+			scope = s.Parent
+		} else {
+			scope = ""
+		}
+	}
+
+	// Exit the active chain from the leaf inward-out until the scope.
+	path := c.PathFromRoot(leaf)
+	cut := 0 // index of first state inside the scope
+	for i, s := range path {
+		if s.Name == scope {
+			cut = i + 1
+		}
+	}
+	for i := len(path) - 1; i >= cut; i-- {
+		plan.Exits = append(plan.Exits, path[i])
+	}
+
+	// Enter from just below the scope down to the target, then descend.
+	tpath := c.PathFromRoot(t.To)
+	tcut := 0
+	for i, s := range tpath {
+		if s.Name == scope {
+			tcut = i + 1
+		}
+	}
+	plan.Entries = append(plan.Entries, tpath[tcut:]...)
+	descend, err := c.DefaultDescend(t.To)
+	if err != nil {
+		return plan, err
+	}
+	plan.Entries = append(plan.Entries, descend...)
+	if len(plan.Entries) == 0 {
+		return plan, fmt.Errorf("stateflow: chart %s: transition %s enters nothing", c.Name, t.Label())
+	}
+	plan.NewLeaf = plan.Entries[len(plan.Entries)-1]
+	if !c.IsLeaf(plan.NewLeaf.Name) {
+		return plan, fmt.Errorf("stateflow: chart %s: transition %s does not resolve to a leaf", c.Name, t.Label())
+	}
+	return plan, nil
+}
+
+// CandidateTransitions returns, for an active leaf, the transitions to
+// evaluate in order: outermost ancestor's first (Stateflow gives outer
+// transitions precedence), each state's own transitions in priority order.
+func (c *Chart) CandidateTransitions(leaf string) []*Transition {
+	var out []*Transition
+	for _, s := range c.PathFromRoot(leaf) {
+		out = append(out, c.From(s.Name)...)
+	}
+	return out
+}
+
+// Symbols returns the mlfunc symbol table visible to guards and actions.
+func (c *Chart) Symbols() map[string]model.DType {
+	syms := make(map[string]model.DType, len(c.Inputs)+len(c.Outputs)+len(c.Locals))
+	for _, v := range c.Inputs {
+		syms[v.Name] = v.Type
+	}
+	for _, v := range c.Outputs {
+		syms[v.Name] = v.Type
+	}
+	for _, v := range c.Locals {
+		syms[v.Name] = v.Type
+	}
+	return syms
+}
+
+// Validate checks structural soundness: states uniquely named, hierarchy
+// acyclic with valid default children, initial state exists at top level,
+// transitions reference existing states, data names are unique.
+func (c *Chart) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("stateflow: chart has no name")
+	}
+	if len(c.States) == 0 {
+		return fmt.Errorf("stateflow: chart %s has no states", c.Name)
+	}
+	seen := map[string]bool{}
+	for _, s := range c.States {
+		if s.Name == "" {
+			return fmt.Errorf("stateflow: chart %s has a state with empty name", c.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("stateflow: chart %s: duplicate state %q", c.Name, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, s := range c.States {
+		if s.Parent != "" && !seen[s.Parent] {
+			return fmt.Errorf("stateflow: chart %s: state %q has unknown parent %q", c.Name, s.Name, s.Parent)
+		}
+		// Acyclic: walking parents must terminate within len(States) hops.
+		cur, hops := s, 0
+		for cur.Parent != "" {
+			cur = c.State(cur.Parent)
+			hops++
+			if cur == nil || hops > len(c.States) {
+				return fmt.Errorf("stateflow: chart %s: state %q has a parent cycle", c.Name, s.Name)
+			}
+		}
+		if !c.IsLeaf(s.Name) {
+			if s.Initial == "" {
+				return fmt.Errorf("stateflow: chart %s: composite state %q needs an Initial child", c.Name, s.Name)
+			}
+			child := c.State(s.Initial)
+			if child == nil || child.Parent != s.Name {
+				return fmt.Errorf("stateflow: chart %s: state %q Initial %q is not one of its children", c.Name, s.Name, s.Initial)
+			}
+		} else if s.Initial != "" {
+			return fmt.Errorf("stateflow: chart %s: leaf state %q must not declare Initial", c.Name, s.Name)
+		}
+	}
+	if c.Initial == "" {
+		return fmt.Errorf("stateflow: chart %s has no initial state", c.Name)
+	}
+	if !seen[c.Initial] {
+		return fmt.Errorf("stateflow: chart %s: initial state %q does not exist", c.Name, c.Initial)
+	}
+	if init := c.State(c.Initial); init.Parent != "" {
+		return fmt.Errorf("stateflow: chart %s: initial state %q must be top-level", c.Name, c.Initial)
+	}
+	if _, err := c.DefaultDescend(c.Initial); err != nil {
+		return err
+	}
+	for _, t := range c.Transitions {
+		if !seen[t.From] {
+			return fmt.Errorf("stateflow: chart %s: transition from unknown state %q", c.Name, t.From)
+		}
+		if !seen[t.To] {
+			return fmt.Errorf("stateflow: chart %s: transition to unknown state %q", c.Name, t.To)
+		}
+		if _, err := c.DefaultDescend(t.To); err != nil {
+			return err
+		}
+	}
+	names := map[string]bool{}
+	for _, group := range [][]Var{c.Inputs, c.Outputs, c.Locals} {
+		for _, v := range group {
+			if v.Name == "" {
+				return fmt.Errorf("stateflow: chart %s: data with empty name", c.Name)
+			}
+			if names[v.Name] {
+				return fmt.Errorf("stateflow: chart %s: duplicate data name %q", c.Name, v.Name)
+			}
+			if !v.Type.Valid() {
+				return fmt.Errorf("stateflow: chart %s: data %q has invalid type", c.Name, v.Name)
+			}
+			names[v.Name] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package stateflow
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+func validChart() *Chart {
+	return &Chart{
+		Name:    "c",
+		Inputs:  []Var{{Name: "x", Type: model.Int32}},
+		Outputs: []Var{{Name: "y", Type: model.Int32}},
+		Locals:  []Var{{Name: "n", Type: model.Int32}},
+		States: []*State{
+			{Name: "A"}, {Name: "B"},
+		},
+		Transitions: []*Transition{
+			{From: "A", To: "B", Guard: "x > 0", Priority: 2},
+			{From: "A", To: "A", Priority: 1},
+			{From: "B", To: "A", Guard: "x < 0"},
+		},
+		Initial: "A",
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validChart().Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Chart)
+		want   string
+	}{
+		{"no name", func(c *Chart) { c.Name = "" }, "no name"},
+		{"no states", func(c *Chart) { c.States = nil }, "no states"},
+		{"dup state", func(c *Chart) { c.States = append(c.States, &State{Name: "A"}) }, "duplicate state"},
+		{"no initial", func(c *Chart) { c.Initial = "" }, "no initial"},
+		{"bad initial", func(c *Chart) { c.Initial = "Z" }, "does not exist"},
+		{"bad from", func(c *Chart) { c.Transitions[0].From = "Z" }, "unknown state"},
+		{"bad to", func(c *Chart) { c.Transitions[0].To = "Z" }, "unknown state"},
+		{"dup data", func(c *Chart) { c.Locals = append(c.Locals, Var{Name: "x", Type: model.Int8}) }, "duplicate data"},
+		{"empty data name", func(c *Chart) { c.Locals = append(c.Locals, Var{Type: model.Int8}) }, "empty name"},
+	}
+	for _, tc := range cases {
+		c := validChart()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFromSortsByPriority(t *testing.T) {
+	c := validChart()
+	out := c.From("A")
+	if len(out) != 2 {
+		t.Fatalf("outgoing of A: %d", len(out))
+	}
+	if out[0].Priority != 1 || out[1].Priority != 2 {
+		t.Errorf("priority order broken: %d then %d", out[0].Priority, out[1].Priority)
+	}
+	if len(c.From("B")) != 1 || len(c.From("Z")) != 0 {
+		t.Error("From counts wrong")
+	}
+}
+
+func TestStateIndexAndLookup(t *testing.T) {
+	c := validChart()
+	if c.StateIndex("A") != 0 || c.StateIndex("B") != 1 || c.StateIndex("Z") != -1 {
+		t.Error("StateIndex")
+	}
+	if c.State("B") == nil || c.State("Z") != nil {
+		t.Error("State lookup")
+	}
+}
+
+func TestSymbolsMergesAllData(t *testing.T) {
+	syms := validChart().Symbols()
+	if len(syms) != 3 || syms["x"] != model.Int32 || syms["n"] != model.Int32 {
+		t.Errorf("symbols: %v", syms)
+	}
+}
+
+func TestTransitionLabel(t *testing.T) {
+	tr := &Transition{From: "A", To: "B", Guard: "x > 0"}
+	if tr.Label() != "A->B[x > 0]" {
+		t.Errorf("label: %s", tr.Label())
+	}
+	tr2 := &Transition{From: "A", To: "B"}
+	if tr2.Label() != "A->B[true]" {
+		t.Errorf("unguarded label: %s", tr2.Label())
+	}
+}

@@ -1,0 +1,192 @@
+package stateflow
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+// opChart is a two-level chart: Off | On{Idle, Run{Slow, Fast}}.
+func opChart() *Chart {
+	return &Chart{
+		Name:    "op",
+		Inputs:  []Var{{Name: "x", Type: model.Int32}},
+		Outputs: []Var{{Name: "y", Type: model.Int32}},
+		States: []*State{
+			{Name: "Off"},
+			{Name: "On", Initial: "Idle"},
+			{Name: "Idle", Parent: "On"},
+			{Name: "Run", Parent: "On", Initial: "Slow"},
+			{Name: "Slow", Parent: "Run"},
+			{Name: "Fast", Parent: "Run"},
+		},
+		Transitions: []*Transition{
+			{From: "Off", To: "On", Guard: "x > 0"},
+			{From: "On", To: "Off", Guard: "x < 0"}, // outer transition
+			{From: "Idle", To: "Run", Guard: "x > 10"},
+			{From: "Slow", To: "Fast", Guard: "x > 100"},
+			{From: "Run", To: "Idle", Guard: "x == 0"},
+		},
+		Initial: "Off",
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	if err := opChart().Validate(); err != nil {
+		t.Fatalf("valid hierarchical chart rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Chart)
+		want   string
+	}{
+		{"composite without initial", func(c *Chart) { c.State("On").Initial = "" }, "needs an Initial"},
+		{"initial not a child", func(c *Chart) { c.State("On").Initial = "Off" }, "not one of its children"},
+		{"leaf with initial", func(c *Chart) { c.State("Off").Initial = "Off" }, "must not declare"},
+		{"unknown parent", func(c *Chart) { c.State("Fast").Parent = "Ghost" }, "unknown parent"},
+		{"nested chart initial", func(c *Chart) { c.Initial = "Slow" }, "must be top-level"},
+		{"parent cycle", func(c *Chart) {
+			c.State("On").Parent = "Run" // On -> Run -> On
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		c := opChart()
+		tc.mutate(c)
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLeavesAndIndexes(t *testing.T) {
+	c := opChart()
+	var names []string
+	for _, l := range c.Leaves() {
+		names = append(names, l.Name)
+	}
+	if strings.Join(names, ",") != "Off,Idle,Slow,Fast" {
+		t.Errorf("leaves: %v", names)
+	}
+	if c.LeafIndex("Slow") != 2 || c.LeafIndex("On") != -1 {
+		t.Error("LeafIndex")
+	}
+}
+
+func TestPathAndLCA(t *testing.T) {
+	c := opChart()
+	var path []string
+	for _, s := range c.PathFromRoot("Fast") {
+		path = append(path, s.Name)
+	}
+	if strings.Join(path, ",") != "On,Run,Fast" {
+		t.Errorf("path: %v", path)
+	}
+	if c.LCA("Slow", "Fast") != "Run" {
+		t.Errorf("LCA(Slow,Fast) = %q", c.LCA("Slow", "Fast"))
+	}
+	if c.LCA("Idle", "Fast") != "On" {
+		t.Errorf("LCA(Idle,Fast) = %q", c.LCA("Idle", "Fast"))
+	}
+	if c.LCA("Off", "Fast") != "" {
+		t.Errorf("LCA(Off,Fast) = %q", c.LCA("Off", "Fast"))
+	}
+}
+
+func TestDefaultDescend(t *testing.T) {
+	c := opChart()
+	chain, err := c.DefaultDescend("On")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Name != "Idle" {
+		t.Errorf("descend On: %v", chain)
+	}
+	chain, err = c.DefaultDescend("Run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Name != "Slow" {
+		t.Errorf("descend Run: %v", chain)
+	}
+	if chain, _ := c.DefaultDescend("Off"); len(chain) != 0 {
+		t.Errorf("descend leaf: %v", chain)
+	}
+}
+
+func TestCandidateTransitionsOuterFirst(t *testing.T) {
+	c := opChart()
+	var labels []string
+	for _, tr := range c.CandidateTransitions("Fast") {
+		labels = append(labels, tr.From+">"+tr.To)
+	}
+	// Outermost (On) first, then Run, then Fast (which has none).
+	if strings.Join(labels, ",") != "On>Off,Run>Idle" {
+		t.Errorf("candidates for Fast: %v", labels)
+	}
+}
+
+func TestPlanFireChains(t *testing.T) {
+	c := opChart()
+
+	// Outer transition On->Off while Fast active: exit Fast, Run, On.
+	onOff := c.Transitions[1]
+	plan, err := c.PlanFire("Fast", onOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateNames(plan.Exits); got != "Fast,Run,On" {
+		t.Errorf("exits: %s", got)
+	}
+	if got := stateNames(plan.Entries); got != "Off" {
+		t.Errorf("entries: %s", got)
+	}
+	if plan.NewLeaf.Name != "Off" {
+		t.Errorf("new leaf: %s", plan.NewLeaf.Name)
+	}
+
+	// Composite target: Off->On enters On then default-descends to Idle.
+	offOn := c.Transitions[0]
+	plan, err = c.PlanFire("Off", offOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateNames(plan.Entries); got != "On,Idle" {
+		t.Errorf("entries: %s", got)
+	}
+
+	// Sibling-composite target: Idle->Run stays inside On.
+	idleRun := c.Transitions[2]
+	plan, err = c.PlanFire("Idle", idleRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateNames(plan.Exits); got != "Idle" {
+		t.Errorf("exits: %s", got)
+	}
+	if got := stateNames(plan.Entries); got != "Run,Slow" {
+		t.Errorf("entries: %s", got)
+	}
+
+	// Transition from a composite to its own child (Run->Idle... wait,
+	// Idle is Run's sibling): use Run->Idle from leaf Fast.
+	runIdle := c.Transitions[4]
+	plan, err = c.PlanFire("Fast", runIdle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stateNames(plan.Exits); got != "Fast,Run" {
+		t.Errorf("exits: %s", got)
+	}
+	if got := stateNames(plan.Entries); got != "Idle" {
+		t.Errorf("entries: %s", got)
+	}
+}
+
+func stateNames(ss []*State) string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s.Name)
+	}
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,69 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+func TestWriterProducesValidVCD(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb, "Demo", 0.01, []Signal{
+		{Name: "en", Type: model.Bool},
+		{Name: "pwr", Type: model.Int32},
+	})
+	w.Step([]uint64{1, model.EncodeInt(model.Int32, 5)})
+	w.Step([]uint64{1, model.EncodeInt(model.Int32, 5)}) // no change
+	w.Step([]uint64{0, model.EncodeInt(model.Int32, -1)})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"$timescale 1 ms $end",
+		"$scope module Demo $end",
+		"$var wire 1 ! en $end",
+		"$var wire 32 \" pwr $end",
+		"$enddefinitions $end",
+		"#0", "#1", "#2", "#3",
+		"1!",    // en true at t0
+		"b101 ", // pwr = 5
+		"0!",    // en false at t2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The unchanged step must not repeat values: exactly one "b101".
+	if strings.Count(out, "b101 ") != 1 {
+		t.Errorf("value repeated for unchanged step:\n%s", out)
+	}
+	// -1 as int32 is 32 ones.
+	if !strings.Contains(out, "b"+strings.Repeat("1", 32)+" ") {
+		t.Errorf("negative encoding wrong:\n%s", out)
+	}
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestTimescales(t *testing.T) {
+	if timescale(1) != "1 s" || timescale(0.01) != "1 ms" || timescale(1e-5) != "1 us" || timescale(1e-9) != "1 ns" {
+		t.Error("timescale mapping")
+	}
+}

@@ -1,0 +1,319 @@
+// Package vm executes lowered IR programs. It is the in-process stand-in for
+// the natively compiled fuzz code of the paper: a flat register machine with
+// no interpretation of the model graph, no boxing and no dispatch beyond one
+// opcode switch — the execution substrate that gives CFTCG its four-orders-
+// of-magnitude speed advantage over engine-based simulation.
+package vm
+
+import (
+	"math"
+
+	"cftcg/internal/coverage"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// Machine executes one program instance. It owns the register file, the
+// persistent state vector, and the output buffer; the coverage recorder is
+// shared with the fuzzing loop.
+type Machine struct {
+	prog  *ir.Program
+	regs  []uint64
+	state []uint64
+	out   []uint64
+	rec   *coverage.Recorder
+}
+
+// New creates a machine for the program. rec may be nil to run without
+// coverage collection (pure execution benchmarks).
+func New(p *ir.Program, rec *coverage.Recorder) *Machine {
+	return &Machine{
+		prog:  p,
+		regs:  make([]uint64, p.NumRegs),
+		state: make([]uint64, p.NumState),
+		out:   make([]uint64, len(p.Out)),
+		rec:   rec,
+	}
+}
+
+// Program returns the machine's program.
+func (m *Machine) Program() *ir.Program { return m.prog }
+
+// Out returns the output values of the last step, one raw value per outport
+// field. The slice is reused across steps.
+func (m *Machine) Out() []uint64 { return m.out }
+
+// State exposes the persistent state vector (tests inspect it).
+func (m *Machine) State() []uint64 { return m.state }
+
+// Init resets the machine and runs the program's init function — the
+// "model initialization code" the fuzz driver calls for every test input.
+func (m *Machine) Init() {
+	for i := range m.state {
+		m.state[i] = 0
+	}
+	for i := range m.out {
+		m.out[i] = 0
+	}
+	m.exec(m.prog.Init, nil)
+}
+
+// Step runs one model iteration with the given input tuple (one raw value
+// per inport field).
+func (m *Machine) Step(in []uint64) {
+	m.exec(m.prog.Step, in)
+}
+
+func (m *Machine) exec(code []ir.Instr, in []uint64) {
+	regs := m.regs
+	rec := m.rec
+	for pc := 0; pc < len(code); {
+		ins := &code[pc]
+		switch ins.Op {
+		case ir.OpNop:
+
+		case ir.OpConst:
+			regs[ins.Dst] = ins.Imm
+		case ir.OpMov:
+			regs[ins.Dst] = regs[ins.A]
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMin, ir.OpMax:
+			regs[ins.Dst] = arith(ins.Op, ins.DT, regs[ins.A], regs[ins.B])
+		case ir.OpNeg:
+			if ins.DT.IsFloat() {
+				regs[ins.Dst] = model.EncodeFloat(ins.DT, -model.DecodeFloat(ins.DT, regs[ins.A]))
+			} else {
+				regs[ins.Dst] = model.EncodeInt(ins.DT, -model.DecodeInt(ins.DT, regs[ins.A]))
+			}
+		case ir.OpAbs:
+			if ins.DT.IsFloat() {
+				regs[ins.Dst] = model.EncodeFloat(ins.DT, math.Abs(model.DecodeFloat(ins.DT, regs[ins.A])))
+			} else {
+				v := model.DecodeInt(ins.DT, regs[ins.A])
+				if v < 0 {
+					v = -v
+				}
+				regs[ins.Dst] = model.EncodeInt(ins.DT, v)
+			}
+
+		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			regs[ins.Dst] = compare(ins.Op, ins.DT, regs[ins.A], regs[ins.B])
+
+		case ir.OpAnd:
+			regs[ins.Dst] = regs[ins.A] & regs[ins.B] & 1
+		case ir.OpOr:
+			regs[ins.Dst] = (regs[ins.A] | regs[ins.B]) & 1
+		case ir.OpXor:
+			regs[ins.Dst] = (regs[ins.A] ^ regs[ins.B]) & 1
+		case ir.OpNot:
+			regs[ins.Dst] = (regs[ins.A] & 1) ^ 1
+
+		case ir.OpBitAnd:
+			regs[ins.Dst] = model.EncodeInt(ins.DT, model.DecodeInt(ins.DT, regs[ins.A])&model.DecodeInt(ins.DT, regs[ins.B]))
+		case ir.OpBitOr:
+			regs[ins.Dst] = model.EncodeInt(ins.DT, model.DecodeInt(ins.DT, regs[ins.A])|model.DecodeInt(ins.DT, regs[ins.B]))
+		case ir.OpBitXor:
+			regs[ins.Dst] = model.EncodeInt(ins.DT, model.DecodeInt(ins.DT, regs[ins.A])^model.DecodeInt(ins.DT, regs[ins.B]))
+		case ir.OpShl:
+			sh := uint(model.DecodeInt(ins.DT, regs[ins.B])) & 31
+			regs[ins.Dst] = model.EncodeInt(ins.DT, model.DecodeInt(ins.DT, regs[ins.A])<<sh)
+		case ir.OpShr:
+			sh := uint(model.DecodeInt(ins.DT, regs[ins.B])) & 31
+			regs[ins.Dst] = model.EncodeInt(ins.DT, model.DecodeInt(ins.DT, regs[ins.A])>>sh)
+
+		case ir.OpTruth:
+			if model.Truth(ins.DT2, regs[ins.A]) {
+				regs[ins.Dst] = 1
+			} else {
+				regs[ins.Dst] = 0
+			}
+		case ir.OpSelect:
+			if regs[ins.A] != 0 {
+				regs[ins.Dst] = regs[ins.B]
+			} else {
+				regs[ins.Dst] = regs[ins.C]
+			}
+		case ir.OpCast:
+			regs[ins.Dst] = model.Cast(ins.DT, ins.DT2, regs[ins.A])
+
+		case ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpTan,
+			ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
+			regs[ins.Dst] = unaryMath(ins.Op, ins.DT, regs[ins.A])
+
+		case ir.OpLoadIn:
+			regs[ins.Dst] = in[ins.Imm]
+		case ir.OpStoreOut:
+			m.out[ins.Imm] = regs[ins.A]
+		case ir.OpLoadState:
+			regs[ins.Dst] = m.state[ins.Imm]
+		case ir.OpStoreState:
+			m.state[ins.Imm] = regs[ins.A]
+
+		case ir.OpJmp:
+			pc = int(ins.Imm)
+			continue
+		case ir.OpJmpIf:
+			if regs[ins.A] != 0 {
+				pc = int(ins.Imm)
+				continue
+			}
+		case ir.OpJmpIfNot:
+			if regs[ins.A] == 0 {
+				pc = int(ins.Imm)
+				continue
+			}
+
+		case ir.OpProbe:
+			if rec != nil {
+				rec.Outcome(int(ins.A), int(ins.B))
+			}
+		case ir.OpCondProbe:
+			if rec != nil {
+				rec.Cond(int(ins.A), regs[ins.B] != 0)
+			}
+
+		case ir.OpHalt:
+			return
+		}
+		pc++
+	}
+}
+
+// arith computes a binary arithmetic op in type dt over raw values.
+func arith(op ir.Op, dt model.DType, a, b uint64) uint64 {
+	if dt.IsFloat() {
+		x := model.DecodeFloat(dt, a)
+		y := model.DecodeFloat(dt, b)
+		var v float64
+		switch op {
+		case ir.OpAdd:
+			v = x + y
+		case ir.OpSub:
+			v = x - y
+		case ir.OpMul:
+			v = x * y
+		case ir.OpDiv:
+			if y == 0 {
+				v = 0 // division is total: x/0 = 0 in both engines
+			} else {
+				v = x / y
+			}
+		case ir.OpMin:
+			v = math.Min(x, y)
+		case ir.OpMax:
+			v = math.Max(x, y)
+		}
+		return model.EncodeFloat(dt, v)
+	}
+	x := model.DecodeInt(dt, a)
+	y := model.DecodeInt(dt, b)
+	var v int64
+	switch op {
+	case ir.OpAdd:
+		v = x + y
+	case ir.OpSub:
+		v = x - y
+	case ir.OpMul:
+		v = x * y
+	case ir.OpDiv:
+		if y == 0 {
+			v = 0
+		} else {
+			v = x / y
+		}
+	case ir.OpMin:
+		v = x
+		if y < x {
+			v = y
+		}
+	case ir.OpMax:
+		v = x
+		if y > x {
+			v = y
+		}
+	}
+	return model.EncodeInt(dt, v)
+}
+
+// compare evaluates a relational op in type dt, returning 0 or 1.
+func compare(op ir.Op, dt model.DType, a, b uint64) uint64 {
+	var res bool
+	if dt.IsFloat() {
+		x := model.DecodeFloat(dt, a)
+		y := model.DecodeFloat(dt, b)
+		switch op {
+		case ir.OpEq:
+			res = x == y
+		case ir.OpNe:
+			res = x != y
+		case ir.OpLt:
+			res = x < y
+		case ir.OpLe:
+			res = x <= y
+		case ir.OpGt:
+			res = x > y
+		case ir.OpGe:
+			res = x >= y
+		}
+	} else {
+		x := model.DecodeInt(dt, a)
+		y := model.DecodeInt(dt, b)
+		switch op {
+		case ir.OpEq:
+			res = x == y
+		case ir.OpNe:
+			res = x != y
+		case ir.OpLt:
+			res = x < y
+		case ir.OpLe:
+			res = x <= y
+		case ir.OpGt:
+			res = x > y
+		case ir.OpGe:
+			res = x >= y
+		}
+	}
+	if res {
+		return 1
+	}
+	return 0
+}
+
+// unaryMath evaluates the floating-point unary functions. Non-float DTs
+// round-trip through float64, matching the C library calls the generated
+// code would make.
+func unaryMath(op ir.Op, dt model.DType, a uint64) uint64 {
+	x := model.Decode(dt, a)
+	var v float64
+	switch op {
+	case ir.OpSqrt:
+		if x < 0 {
+			v = 0
+		} else {
+			v = math.Sqrt(x)
+		}
+	case ir.OpExp:
+		v = math.Exp(x)
+	case ir.OpLog:
+		if x <= 0 {
+			v = 0
+		} else {
+			v = math.Log(x)
+		}
+	case ir.OpSin:
+		v = math.Sin(x)
+	case ir.OpCos:
+		v = math.Cos(x)
+	case ir.OpTan:
+		v = math.Tan(x)
+	case ir.OpFloor:
+		v = math.Floor(x)
+	case ir.OpCeil:
+		v = math.Ceil(x)
+	case ir.OpRound:
+		v = math.Round(x)
+	case ir.OpTrunc:
+		v = math.Trunc(x)
+	}
+	return model.Encode(dt, v)
+}
