@@ -119,7 +119,7 @@ func BenchmarkTable3Coverage(b *testing.B) {
 		b.Run(e.Name+"/CFTCG", func(b *testing.B) {
 			var rep coverage.Report
 			for i := 0; i < b.N; i++ {
-				res := fuzz.NewEngine(c, fuzz.Options{Seed: 1, MaxExecs: 20000}).Run()
+				res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, MaxExecs: 20000}).Run()
 				rep = res.Report
 			}
 			reportCoverage(b, rep)
@@ -162,7 +162,7 @@ func BenchmarkFigure7CoverageOverTime(b *testing.B) {
 			var final float64
 			var half time.Duration
 			for i := 0; i < b.N; i++ {
-				res := fuzz.NewEngine(c, fuzz.Options{Seed: 1, Budget: 300 * time.Millisecond}).Run()
+				res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, Budget: 300 * time.Millisecond}).Run()
 				final = res.Report.Decision()
 				half = 0
 				for _, p := range res.Timeline {
@@ -188,7 +188,7 @@ func BenchmarkFigure8FuzzOnly(b *testing.B) {
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				var rep coverage.Report
 				for i := 0; i < b.N; i++ {
-					res := fuzz.NewEngine(c, fuzz.Options{Seed: 1, Mode: mode, MaxExecs: 20000}).Run()
+					res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, Mode: mode, MaxExecs: 20000}).Run()
 					rep = res.Report
 				}
 				reportCoverage(b, rep)
@@ -246,7 +246,7 @@ func BenchmarkCPUTaskDeepBranches(b *testing.B) {
 	var rep coverage.Report
 	var steps int64
 	for i := 0; i < b.N; i++ {
-		res := fuzz.NewEngine(c, fuzz.Options{Seed: 1, MaxExecs: 30000}).Run()
+		res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, MaxExecs: 30000}).Run()
 		rep = res.Report
 		steps = res.Steps
 	}
@@ -267,7 +267,7 @@ func BenchmarkAblationIterDiff(b *testing.B) {
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				var rep coverage.Report
 				for i := 0; i < b.N; i++ {
-					res := fuzz.NewEngine(c, fuzz.Options{Seed: 1, Mode: mode, MaxExecs: 20000}).Run()
+					res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, Mode: mode, MaxExecs: 20000}).Run()
 					rep = res.Report
 				}
 				reportCoverage(b, rep)

@@ -101,7 +101,7 @@ func main() {
 		check(err)
 		c, err := codegen.Compile(e.Build())
 		check(err)
-		eng := fuzz.NewEngine(c, fuzz.Options{Seed: cfg.Seed, Budget: cfg.Budget})
+		eng := fuzz.MustEngine(c, fuzz.Options{Seed: cfg.Seed, Budget: cfg.Budget})
 		res := eng.Run()
 		sp, err := harness.MeasureSpeed(c, 300*time.Millisecond, cfg.Seed)
 		check(err)

@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cftcg/internal/benchmodels"
@@ -52,6 +54,10 @@ func main() {
 		minimize := fs.Bool("minimize", false, "greedily minimize the suite before writing")
 		trim := fs.Bool("trim", false, "shorten each emitted case without losing its coverage")
 		seeds := fs.String("seeds", "", "directory of .bin cases to seed the corpus (resume a campaign)")
+		fuel := fs.Int64("fuel", 0, "per-step instruction budget; hangs become findings (0 = default ~1M)")
+		checkpoint := fs.String("checkpoint", "", "path for periodic crash-safe corpus checkpoints")
+		ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between checkpoints")
+		resume := fs.String("resume", "", "checkpoint file to resume the campaign from")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
 
@@ -68,6 +74,8 @@ func main() {
 		}
 		opts := fuzz.Options{
 			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
+			Fuel:           *fuel,
+			CheckpointPath: *checkpoint, CheckpointEvery: *ckptEvery, ResumeFrom: *resume,
 		}
 		if *seeds != "" {
 			seedInputs, err := core.ReadSeedDir(*seeds)
@@ -75,12 +83,31 @@ func main() {
 			opts.SeedInputs = seedInputs
 			fmt.Printf("seeded corpus with %d case(s) from %s\n", len(seedInputs), *seeds)
 		}
+
+		// Graceful shutdown: the first SIGINT/SIGTERM asks the engine to stop
+		// (checkpoint is flushed, the report below still prints); a second
+		// signal kills the process outright.
+		stop := make(chan struct{})
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			fmt.Fprintln(os.Stderr, "cftcg: interrupt — stopping, flushing checkpoint (again to kill)")
+			close(stop)
+			<-sigc
+			os.Exit(1)
+		}()
+		opts.Stop = stop
+
 		var res *fuzz.Result
+		var err error
 		if *workers > 1 {
-			res = fuzz.RunParallel(sys.Compiled, opts, *workers)
+			res, err = fuzz.RunParallel(sys.Compiled, opts, *workers)
 		} else {
-			res = sys.Fuzz(opts)
+			res, err = sys.Fuzz(opts)
 		}
+		check(err)
+		signal.Stop(sigc)
 		if *minimize {
 			res.Suite.Cases = fuzz.Minimize(sys.Compiled, res.Suite.Cases)
 		}
@@ -89,11 +116,26 @@ func main() {
 				res.Suite.Cases[i].Data = fuzz.Trim(sys.Compiled, res.Suite.Cases[i].Data)
 			}
 		}
+		if res.Stopped {
+			fmt.Println("campaign interrupted; partial results follow")
+		}
 		fmt.Printf("executions: %d, model iterations: %d, corpus: %d, cases: %d\n",
 			res.Execs, res.Steps, res.Corpus, len(res.Suite.Cases))
 		fmt.Println(res.Report)
 		if len(res.Violations) > 0 {
 			fmt.Printf("assertion violations: %d input(s) reproduce them\n", len(res.Violations))
+		}
+		if len(res.Findings) > 0 {
+			fmt.Printf("findings: %d distinct (%d occurrences dropped past the cap)\n",
+				len(res.Findings), res.DroppedFindings)
+			for _, f := range res.Findings {
+				fmt.Printf("  [%s] %s x%d: %s\n", f.Kind, f.Site, f.Count, f.Detail)
+			}
+		}
+		if res.CheckpointErr != nil {
+			fmt.Fprintln(os.Stderr, "cftcg: checkpoint write failed:", res.CheckpointErr)
+		} else if *checkpoint != "" {
+			fmt.Printf("checkpoint saved to %s\n", *checkpoint)
 		}
 		if *out != "" {
 			check(sys.WriteSuite(*out, res.Suite))

@@ -71,7 +71,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := sys.Fuzz(fuzz.Options{Seed: 77, Budget: 2 * time.Second})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 77, Budget: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("campaign: %d executions, %d cases\n", res.Execs, len(res.Suite.Cases))
 	fmt.Println(res.Report)
 

@@ -139,7 +139,10 @@ swings = n;
 	}
 	fmt.Println("custom TriLevel block: 2000 differential steps, VM == engine ✓")
 
-	res := sys.Fuzz(fuzz.Options{Seed: 3, Budget: time.Second})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 3, Budget: time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fuzzing with the custom block: %d executions\n", res.Execs)
 	fmt.Println(res.Report)
 }

@@ -51,7 +51,10 @@ if (coldRun >= 3) { heat = true; }
 	fmt.Printf("input tuple: %d bytes, %d fields; %d instrumented branch slots\n\n",
 		lay.TupleSize, len(lay.Fields), sys.BranchCount())
 
-	res := sys.Fuzz(fuzz.Options{Seed: 42, Budget: 500 * time.Millisecond})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 42, Budget: 500 * time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fuzzed %d inputs (%d model iterations), %d test cases emitted\n",
 		res.Execs, res.Steps, len(res.Suite.Cases))
 	fmt.Println(res.Report)

@@ -56,7 +56,8 @@ func main() {
 
 	// Iteration Difference Coverage on two hand-built inputs (Figure 6):
 	// a repetitive stream vs one that keeps changing the triggered logic.
-	eng := fuzz.NewEngine(sys.Compiled, fuzz.Options{Seed: 1})
+	// RunInput only — MaxExecs satisfies the budget validation but is unused.
+	eng := fuzz.MustEngine(sys.Compiled, fuzz.Options{Seed: 1, MaxExecs: 1})
 	flat := concat(tuple(lay, 1, 150, 1), tuple(lay, 1, 150, 1), tuple(lay, 1, 150, 1))
 	mFlat, _, _ := eng.RunInput(flat)
 	varied := concat(tuple(lay, 1, 150, 1), tuple(lay, 0, 0, 1), tuple(lay, 1, 250, 2))
@@ -66,7 +67,10 @@ func main() {
 	fmt.Printf("  diversified input: metric %d (prioritized for the corpus)\n", mVar)
 
 	// A short campaign.
-	res := sys.Fuzz(fuzz.Options{Seed: 2024, Budget: 2 * time.Second})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 2024, Budget: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n== campaign ==\n%d executions, %d iterations, %d cases\n",
 		res.Execs, res.Steps, len(res.Suite.Cases))
 	fmt.Println(res.Report)

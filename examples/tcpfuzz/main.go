@@ -27,7 +27,10 @@ func main() {
 	fmt.Printf("TCP model: %d branch slots, tuple %d bytes (Flags u8, Seq i32, Cmd i8)\n\n",
 		sys.BranchCount(), sys.Layout().TupleSize)
 
-	res := sys.Fuzz(fuzz.Options{Seed: 7, Budget: 3 * time.Second})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 7, Budget: 3 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("campaign: %d executions, %d iterations, corpus %d, %d test cases\n",
 		res.Execs, res.Steps, res.Corpus, len(res.Suite.Cases))
 	fmt.Println(res.Report)

@@ -63,8 +63,8 @@ func TestFuzzOnlyAblationDirection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full := fuzz.NewEngine(c, fuzz.Options{Seed: 1, MaxExecs: 15000}).Run()
-		only := fuzz.NewEngine(c, fuzz.Options{Seed: 1, Mode: fuzz.ModeFuzzOnly, MaxExecs: 15000}).Run()
+		full := fuzz.MustEngine(c, fuzz.Options{Seed: 1, MaxExecs: 15000}).Run()
+		only := fuzz.MustEngine(c, fuzz.Options{Seed: 1, Mode: fuzz.ModeFuzzOnly, MaxExecs: 15000}).Run()
 		t.Logf("%s: CFTCG %.1f%%/%.1f%%, fuzz-only %.1f%%/%.1f%% (DC/CC)",
 			name, full.Report.Decision(), full.Report.Condition(),
 			only.Report.Decision(), only.Report.Condition())

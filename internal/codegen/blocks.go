@@ -366,7 +366,11 @@ func (lw *lowerer) lowerBlock(gs *graphScope, b *model.Block) error {
 		if err != nil {
 			return err
 		}
-		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, y))
+		op, err := relOp(b.Params.String("Op", "=="))
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", gi.Path, b.Name, err)
+		}
+		setOut(a.Bin(op, t, x, y))
 
 	case "CompareToConstant":
 		t := gi.InType(b.ID, 0)
@@ -374,8 +378,12 @@ func (lw *lowerer) lowerBlock(gs *graphScope, b *model.Block) error {
 		if err != nil {
 			return err
 		}
+		op, err := relOp(b.Params.String("Op", "=="))
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", gi.Path, b.Name, err)
+		}
 		c := a.ConstVal(t, b.Params.Float("Value", 0))
-		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, c))
+		setOut(a.Bin(op, t, x, c))
 
 	case "CompareToZero":
 		t := gi.InType(b.ID, 0)
@@ -383,7 +391,11 @@ func (lw *lowerer) lowerBlock(gs *graphScope, b *model.Block) error {
 		if err != nil {
 			return err
 		}
-		setOut(a.Bin(relOp(b.Params.String("Op", "==")), t, x, a.ConstVal(t, 0)))
+		op, err := relOp(b.Params.String("Op", "=="))
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", gi.Path, b.Name, err)
+		}
+		setOut(a.Bin(op, t, x, a.ConstVal(t, 0)))
 
 	case "LogicalOperator":
 		return lw.lowerLogic(gs, b, decs)

@@ -110,3 +110,14 @@ func TestDelayBadSteps(t *testing.T) {
 	b.Outport("o", model.Float64, h.Out(0))
 	expectCompileError(t, b.Model(), "Steps must be")
 }
+
+func TestBadRelationalOperatorRejected(t *testing.T) {
+	// Formerly a panic deep in lowering; now a compile error naming the block.
+	b := model.NewBuilder("E")
+	x := b.Inport("x", model.Int32)
+	h := b.Add("RelationalOperator", "cmp", model.Params{"Op": "<=>"})
+	b.Connect(x, h.In(0))
+	b.Connect(x, h.In(1))
+	b.Outport("o", model.Bool, h.Out(0))
+	expectCompileError(t, b.Model(), "not a relational operator")
+}

@@ -40,6 +40,12 @@ func Lower(d *blocks.Design, plan *coverage.Plan, ix *coverage.Index) (*ir.Progr
 	lw.stepAsm.Halt()
 	prog.Init = lw.initAsm.Instrs
 	prog.Step = lw.stepAsm.Instrs
+	for _, s := range lw.initAsm.Loops {
+		prog.LoopSites = append(prog.LoopSites, ir.LoopSite{Func: "init", PC: s.PC, Label: s.Label})
+	}
+	for _, s := range lw.stepAsm.Loops {
+		prog.LoopSites = append(prog.LoopSites, ir.LoopSite{Func: "step", PC: s.PC, Label: s.Label})
+	}
 	prog.NumRegs = int(regs)
 	prog.NumState = lw.numState
 	prog.StateNames = lw.stateNames

@@ -95,15 +95,23 @@ func (lw *lowerer) evalExpr(env *scriptEnv, e mlfunc.Expr) (int32, error) {
 			return 0, err
 		}
 		if mlfunc.IsRelOp(ex.Op) {
+			op, err := relOp(ex.Op)
+			if err != nil {
+				return 0, err
+			}
 			t := mlfunc.Promote(ex.X.Type(), ex.Y.Type())
 			x = a.Cast(t, ex.X.Type(), x)
 			y = a.Cast(t, ex.Y.Type(), y)
-			return a.Bin(relOp(ex.Op), t, x, y), nil
+			return a.Bin(op, t, x, y), nil
+		}
+		op, err := arithOp(ex.Op)
+		if err != nil {
+			return 0, err
 		}
 		t := ex.T
 		x = a.Cast(t, ex.X.Type(), x)
 		y = a.Cast(t, ex.Y.Type(), y)
-		return a.Bin(arithOp(ex.Op), t, x, y), nil
+		return a.Bin(op, t, x, y), nil
 
 	case *mlfunc.Call:
 		args := make([]int32, len(ex.Args))
@@ -242,7 +250,12 @@ func (lw *lowerer) execStmts(env *scriptEnv, stmts []mlfunc.Stmt) error {
 			a.MovTo(counter, next)
 			capc := a.Const(model.Int32, model.EncodeInt(model.Int32, mlfunc.MaxWhileIter))
 			again := a.Bin(ir.OpLt, model.Int32, counter, capc)
-			a.Emit(ir.Instr{Op: ir.OpJmpIf, A: again, Imm: uint64(start)})
+			jBack := a.Emit(ir.Instr{Op: ir.OpJmpIf, A: again, Imm: uint64(start)})
+			label := "while"
+			if decID, ok := lw.ix.StmtDecision2[st]; ok {
+				label = lw.plan.Decisions[decID].Label
+			}
+			a.NoteLoop(jBack, label)
 			a.Patch(jExit)
 
 		case *mlfunc.For:
@@ -265,34 +278,34 @@ func (lw *lowerer) execStmts(env *scriptEnv, stmts []mlfunc.Stmt) error {
 	return nil
 }
 
-func relOp(op string) ir.Op {
+func relOp(op string) (ir.Op, error) {
 	switch op {
 	case "==":
-		return ir.OpEq
+		return ir.OpEq, nil
 	case "~=", "!=":
-		return ir.OpNe
+		return ir.OpNe, nil
 	case "<":
-		return ir.OpLt
+		return ir.OpLt, nil
 	case "<=":
-		return ir.OpLe
+		return ir.OpLe, nil
 	case ">":
-		return ir.OpGt
+		return ir.OpGt, nil
 	case ">=":
-		return ir.OpGe
+		return ir.OpGe, nil
 	}
-	panic("codegen: not a relational operator: " + op)
+	return 0, fmt.Errorf("codegen: not a relational operator: %q", op)
 }
 
-func arithOp(op string) ir.Op {
+func arithOp(op string) (ir.Op, error) {
 	switch op {
 	case "+":
-		return ir.OpAdd
+		return ir.OpAdd, nil
 	case "-":
-		return ir.OpSub
+		return ir.OpSub, nil
 	case "*":
-		return ir.OpMul
+		return ir.OpMul, nil
 	case "/":
-		return ir.OpDiv
+		return ir.OpDiv, nil
 	}
-	panic("codegen: not an arithmetic operator: " + op)
+	return 0, fmt.Errorf("codegen: not an arithmetic operator: %q", op)
 }

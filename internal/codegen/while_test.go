@@ -131,3 +131,23 @@ func TestWhileDifferential(t *testing.T) {
 		}
 	}
 }
+
+func TestWhileLoopRecordsLoopSite(t *testing.T) {
+	c, err := Compile(whileModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Prog.LoopSites) == 0 {
+		t.Fatal("compiled while loop must record a LoopSite")
+	}
+	s := c.Prog.LoopSites[0]
+	if s.Func != "step" {
+		t.Errorf("loop func = %q, want step", s.Func)
+	}
+	if s.Label == "" {
+		t.Error("loop site must carry a label")
+	}
+	if got := c.Prog.LoopSiteFor("step", s.PC-1); got != s.Label {
+		t.Errorf("LoopSiteFor inside the body = %q, want %q", got, s.Label)
+	}
+}

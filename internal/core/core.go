@@ -82,9 +82,14 @@ func (s *System) GenerateFuzzCode() FuzzCode {
 }
 
 // Fuzz runs the model-oriented fuzzing loop and returns the campaign result
-// (coverage report, generated suite, timeline).
-func (s *System) Fuzz(opts fuzz.Options) *fuzz.Result {
-	return fuzz.NewEngine(s.Compiled, opts).Run()
+// (coverage report, generated suite, timeline, triaged findings). It errors
+// on invalid options or an unreadable resume checkpoint.
+func (s *System) Fuzz(opts fuzz.Options) (*fuzz.Result, error) {
+	eng, err := fuzz.NewEngine(s.Compiled, opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(), nil
 }
 
 // Layout returns the model's input tuple layout (field order, types,
@@ -107,7 +112,9 @@ func (s *System) Replay(cases [][]byte) (coverage.Report, *coverage.Recorder) {
 	fields := s.Compiled.Prog.In
 	in := make([]uint64, len(fields))
 	for _, data := range cases {
-		m.Init()
+		if m.Init() != nil {
+			continue
+		}
 		n := 0
 		if tuple > 0 {
 			n = len(data) / tuple
@@ -118,7 +125,9 @@ func (s *System) Replay(cases [][]byte) (coverage.Report, *coverage.Recorder) {
 				in[fi] = model.GetRaw(f.Type, data[base+f.Offset:])
 			}
 			rec.BeginStep()
-			m.Step(in)
+			if m.Step(in) != nil {
+				break // hung case: keep the coverage reached so far
+			}
 		}
 	}
 	return rec.Report(), rec

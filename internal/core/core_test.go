@@ -53,7 +53,10 @@ func TestLoadRejectsMissingFile(t *testing.T) {
 // emitted cases are exactly the inputs that triggered new coverage.
 func TestReplayMatchesCampaignCoverage(t *testing.T) {
 	sys := solarpv(t)
-	res := sys.Fuzz(fuzz.Options{Seed: 11, MaxExecs: 20000})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 11, MaxExecs: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Suite.Cases) == 0 {
 		t.Fatal("campaign emitted no cases")
 	}
@@ -74,7 +77,10 @@ func TestReplayMatchesCampaignCoverage(t *testing.T) {
 
 func TestWriteSuite(t *testing.T) {
 	sys := solarpv(t)
-	res := sys.Fuzz(fuzz.Options{Seed: 5, MaxExecs: 3000})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 5, MaxExecs: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := filepath.Join(t.TempDir(), "suite")
 	if err := sys.WriteSuite(dir, res.Suite); err != nil {
 		t.Fatalf("WriteSuite: %v", err)
@@ -137,7 +143,10 @@ func TestTraceVCD(t *testing.T) {
 
 func TestReadSeedDir(t *testing.T) {
 	sys := solarpv(t)
-	res := sys.Fuzz(fuzz.Options{Seed: 6, MaxExecs: 3000})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 6, MaxExecs: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := filepath.Join(t.TempDir(), "suite")
 	if err := sys.WriteSuite(dir, res.Suite); err != nil {
 		t.Fatal(err)
@@ -151,7 +160,10 @@ func TestReadSeedDir(t *testing.T) {
 	}
 	// Resuming from the seeds must reproduce the campaign's coverage with
 	// almost no additional work.
-	resumed := sys.Fuzz(fuzz.Options{Seed: 7, MaxExecs: int64(len(seeds)) + 10, SeedInputs: seeds})
+	resumed, err := sys.Fuzz(fuzz.Options{Seed: 7, MaxExecs: int64(len(seeds)) + 10, SeedInputs: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resumed.Report.DecisionCovered < res.Report.DecisionCovered {
 		t.Errorf("resume lost coverage: %d < %d",
 			resumed.Report.DecisionCovered, res.Report.DecisionCovered)

@@ -43,7 +43,10 @@ func ExampleSystem_Fuzz() {
 	if err != nil {
 		panic(err)
 	}
-	res := sys.Fuzz(fuzz.Options{Seed: 42, MaxExecs: 4000})
+	res, err := sys.Fuzz(fuzz.Options{Seed: 42, MaxExecs: 4000})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.Report)
 	// Output:
 	// Gate: decision 100.0% (2/2), condition 100.0% (4/4), MCDC 100.0% (2/2)

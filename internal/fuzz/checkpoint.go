@@ -1,0 +1,156 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CheckpointVersion is bumped whenever the on-disk format changes
+// incompatibly; loading rejects mismatched versions.
+const CheckpointVersion = 1
+
+// CheckpointEntry is one serialized corpus member.
+type CheckpointEntry struct {
+	Data   []byte  `json:"data"`
+	Weight float64 `json:"weight"`
+	Pinned bool    `json:"pinned,omitempty"`
+}
+
+// Checkpoint is the crash-safe snapshot of a fuzzing campaign: everything a
+// restarted process needs to continue where the previous one was killed.
+// Coverage state is not serialized directly — resuming replays the corpus
+// through the instrumented program, which regenerates the coverage recorder,
+// the seen-branch bitmap, and the emitted test cases exactly.
+type Checkpoint struct {
+	Version       int               `json:"version"`
+	Model         string            `json:"model"`
+	Mode          string            `json:"mode"`
+	Seed          int64             `json:"seed"`
+	Execs         int64             `json:"execs"`
+	Steps         int64             `json:"steps"`
+	BestRawMetric int               `json:"best_raw_metric,omitempty"`
+	Corpus        []CheckpointEntry `json:"corpus"`
+	Findings      []Finding         `json:"findings,omitempty"`
+	// Seen is the covered-branch bitmap at save time, kept for inspection
+	// and for the resume sanity check that replay reproduced the coverage.
+	Seen    []byte    `json:"seen,omitempty"`
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// Snapshot captures the engine's current campaign state as a checkpoint.
+func (e *Engine) Snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		Version:       CheckpointVersion,
+		Model:         e.c.Prog.Name,
+		Mode:          e.opts.Mode.String(),
+		Seed:          e.opts.Seed,
+		Execs:         e.execs,
+		Steps:         e.steps,
+		BestRawMetric: e.bestRawMetric,
+		Seen:          append([]byte(nil), e.seen...),
+		SavedAt:       time.Now(),
+	}
+	for _, en := range e.corpus {
+		cp.Corpus = append(cp.Corpus, CheckpointEntry{Data: en.data, Weight: en.weight, Pinned: en.pinned})
+	}
+	cp.Findings = append(cp.Findings, e.findings...)
+	return cp
+}
+
+// WriteCheckpoint persists a checkpoint atomically: the JSON is written to a
+// temporary sibling file, synced, and renamed into place, so a crash mid-save
+// leaves the previous checkpoint intact rather than a truncated one.
+func WriteCheckpoint(path string, cp *Checkpoint) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("fuzz: marshal checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("fuzz: checkpoint %s: %w", path, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("fuzz: checkpoint %s: version %d, want %d", path, cp.Version, CheckpointVersion)
+	}
+	return &cp, nil
+}
+
+// WriteCheckpoint saves the engine's current state to path (atomic).
+func (e *Engine) WriteCheckpoint(path string) error {
+	return WriteCheckpoint(path, e.Snapshot())
+}
+
+// maybeCheckpoint writes a periodic checkpoint when one is configured and
+// the save interval has elapsed. Save errors are remembered (surfaced on the
+// final flush) but do not abort the campaign.
+func (e *Engine) maybeCheckpoint() {
+	if e.opts.CheckpointPath == "" || time.Since(e.lastCkpt) < e.opts.CheckpointEvery {
+		return
+	}
+	e.lastCkpt = time.Now()
+	e.ckptErr = e.WriteCheckpoint(e.opts.CheckpointPath)
+}
+
+// replayCheckpoint restores a loaded checkpoint: every saved corpus entry is
+// replayed through the instrumented program (rebuilding coverage, cases and
+// the corpus admission state), then the corpus and counters are overwritten
+// with the saved ones so weights, eviction state and budget accounting
+// continue exactly where the killed campaign stopped.
+func (e *Engine) replayCheckpoint(cp *Checkpoint) {
+	for _, en := range cp.Corpus {
+		e.tryInput(en.Data)
+	}
+	e.corpus = e.corpus[:0]
+	for _, en := range cp.Corpus {
+		e.corpus = append(e.corpus, entry{
+			data:   append([]byte(nil), en.Data...),
+			weight: en.Weight,
+			pinned: en.Pinned,
+		})
+	}
+	e.bestRawMetric = cp.BestRawMetric
+	e.execs = cp.Execs
+	e.steps = cp.Steps
+	// Restore triaged findings (replay may have re-found some; the saved
+	// set is authoritative for first-seen inputs and counts).
+	e.findings = e.findings[:0]
+	e.findingIdx = map[string]int{}
+	for _, f := range cp.Findings {
+		e.findingIdx[f.Kind.String()+"|"+f.Site] = len(e.findings)
+		e.findings = append(e.findings, f)
+	}
+}

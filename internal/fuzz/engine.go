@@ -1,7 +1,12 @@
 package fuzz
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"cftcg/internal/codegen"
@@ -65,6 +70,53 @@ type Options struct {
 	// constraint solver — the §6 future-work hybrid of constraint solving
 	// and fuzzing.
 	SeedInputs [][]byte
+
+	// Fuel bounds the instructions one init/step call may execute before it
+	// is aborted and triaged as a Hang finding (0 = vm.DefaultFuel).
+	Fuel int64
+	// CheckpointPath, when set, makes the campaign periodically persist its
+	// corpus and counters to this file via an atomic write-then-rename, and
+	// flush a final checkpoint when Run returns.
+	CheckpointPath string
+	// CheckpointEvery is the minimum interval between periodic checkpoint
+	// writes (default 30s; only meaningful with CheckpointPath).
+	CheckpointEvery time.Duration
+	// ResumeFrom reloads a checkpoint written by a previous (killed)
+	// campaign: the saved corpus is replayed to regenerate coverage and
+	// test cases, then weights and budget counters continue from the saved
+	// values. A nonexistent file is not an error — the first run of a
+	// campaign may point ResumeFrom at its own CheckpointPath.
+	ResumeFrom string
+	// Stop, when non-nil, stops Run cleanly (final checkpoint + report) as
+	// soon as the channel is closed — the SIGINT path of the CLI.
+	Stop <-chan struct{}
+}
+
+// Validate rejects option combinations the engine cannot run: negative
+// budgets or caps, and a campaign with no termination condition at all.
+func (o *Options) Validate() error {
+	if o.MaxTuples < 0 {
+		return fmt.Errorf("fuzz: negative MaxTuples %d", o.MaxTuples)
+	}
+	if o.CorpusCap < 0 {
+		return fmt.Errorf("fuzz: negative CorpusCap %d", o.CorpusCap)
+	}
+	if o.MaxExecs < 0 {
+		return fmt.Errorf("fuzz: negative MaxExecs %d", o.MaxExecs)
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("fuzz: negative Budget %s", o.Budget)
+	}
+	if o.Fuel < 0 {
+		return fmt.Errorf("fuzz: negative Fuel %d", o.Fuel)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("fuzz: negative CheckpointEvery %s", o.CheckpointEvery)
+	}
+	if o.MaxExecs == 0 && o.Budget == 0 && o.ResumeFrom == "" {
+		return errors.New("fuzz: no execution budget: set MaxExecs or Budget (or ResumeFrom to replay a checkpoint)")
+	}
+	return nil
 }
 
 // Point is one sample of the coverage-versus-time curve (Figure 7), shared
@@ -84,6 +136,19 @@ type Result struct {
 	// the first few distinct finds) — the verification payoff of fuzzing
 	// beyond coverage.
 	Violations []testcase.Case
+
+	// Findings lists triaged faults (hangs, recovered panics, numeric
+	// anomalies) deduplicated by site — first-class campaign results next
+	// to coverage, in the way libFuzzer treats timeouts and crashes.
+	Findings []Finding
+	// DroppedFindings counts distinct finding sites beyond the stored cap.
+	DroppedFindings int
+	// Stopped reports that the campaign ended on an external stop request
+	// (SIGINT path) rather than by exhausting its budget.
+	Stopped bool
+	// CheckpointErr is the last checkpoint write error, if any; the
+	// campaign itself continues through failed saves.
+	CheckpointErr error
 }
 
 // Engine is the in-process fuzzer bound to one compiled model.
@@ -125,6 +190,24 @@ type Engine struct {
 	timeline   []Point
 	cases      []testcase.Case
 	violations []testcase.Case
+
+	// fault-tolerance state
+	findings        []Finding
+	findingIdx      map[string]int
+	droppedFindings int
+	floatOuts       []floatOut
+	lastInputFuel   int64 // instructions burned by the last RunInput
+	stopFlag        atomic.Bool
+	resumed         *Checkpoint
+	lastCkpt        time.Time
+	ckptErr         error
+}
+
+// floatOut is a float-typed outport slot checked for NaN/Inf after each step.
+type floatOut struct {
+	idx  int
+	dt   model.DType
+	name string
 }
 
 type entry struct {
@@ -135,28 +218,43 @@ type entry struct {
 	pinned bool
 }
 
-// NewEngine builds a fuzzer for a compiled model.
-func NewEngine(c *codegen.Compiled, opts Options) *Engine {
+// NewEngine builds a fuzzer for a compiled model. It validates the options
+// and, when Options.ResumeFrom names an existing checkpoint, loads and
+// verifies it (the replay happens at the start of Run).
+func NewEngine(c *codegen.Compiled, opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.MaxTuples <= 0 {
 		opts.MaxTuples = 64
 	}
 	if opts.CorpusCap <= 0 {
 		opts.CorpusCap = 256
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 30 * time.Second
+	}
 	rec := coverage.NewRecorder(c.Plan)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	e := &Engine{
-		c:        c,
-		rec:      rec,
-		m:        vm.New(c.Prog, rec),
-		opts:     opts,
-		rng:      rng,
-		mut:      NewMutator(c.Prog.In, c.Prog.TupleSize(), opts.MaxTuples, rng),
-		bmut:     NewByteMutator(opts.MaxTuples*c.Prog.TupleSize(), rng),
-		tuple:    c.Prog.TupleSize(),
-		seen:     make([]uint8, c.Plan.NumBranches),
-		last:     make([]uint8, c.Plan.NumBranches),
-		tupleBuf: make([]uint64, len(c.Prog.In)),
+		c:          c,
+		rec:        rec,
+		m:          vm.New(c.Prog, rec),
+		opts:       opts,
+		rng:        rng,
+		mut:        NewMutator(c.Prog.In, c.Prog.TupleSize(), opts.MaxTuples, rng),
+		bmut:       NewByteMutator(opts.MaxTuples*c.Prog.TupleSize(), rng),
+		tuple:      c.Prog.TupleSize(),
+		seen:       make([]uint8, c.Plan.NumBranches),
+		last:       make([]uint8, c.Plan.NumBranches),
+		tupleBuf:   make([]uint64, len(c.Prog.In)),
+		findingIdx: map[string]int{},
+	}
+	e.m.SetFuel(opts.Fuel)
+	for i, f := range c.Prog.Out {
+		if f.Type.IsFloat() {
+			e.floatOuts = append(e.floatOuts, floatOut{idx: i, dt: f.Type, name: f.Name})
+		}
 	}
 	if !opts.NoHints && opts.Mode != ModeFuzzOnly {
 		e.mut.SetHints(codegen.FieldHints(c.Prog))
@@ -165,8 +263,38 @@ func NewEngine(c *codegen.Compiled, opts Options) *Engine {
 		e.mut.SetRanges(opts.Ranges)
 	}
 	e.buildMask()
+	if opts.ResumeFrom != "" {
+		cp, err := LoadCheckpoint(opts.ResumeFrom)
+		switch {
+		case err == nil:
+			if cp.Model != c.Prog.Name {
+				return nil, fmt.Errorf("fuzz: checkpoint %s is for model %q, engine compiled %q",
+					opts.ResumeFrom, cp.Model, c.Prog.Name)
+			}
+			e.resumed = cp
+		case os.IsNotExist(err):
+			// First run of a resumable campaign: nothing to restore yet.
+		default:
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MustEngine is NewEngine for callers with static, known-good options
+// (benchmarks, examples); it panics on invalid options.
+func MustEngine(c *codegen.Compiled, opts Options) *Engine {
+	e, err := NewEngine(c, opts)
+	if err != nil {
+		panic(err)
+	}
 	return e
 }
+
+// Stop requests a clean campaign stop: Run finishes the in-flight execution,
+// flushes the final checkpoint and returns its result. Safe to call from any
+// goroutine (the CLI's signal handler).
+func (e *Engine) Stop() { e.stopFlag.Store(true) }
 
 // buildMask marks which branch slots the fuzzer's feedback can observe. In
 // model-oriented modes every probe is visible. In fuzz-only mode, only
@@ -218,11 +346,27 @@ func (e *Engine) Recorder() *coverage.Recorder { return e.rec }
 // RunInput executes one test input through the fuzz driver — Algorithm 1.
 // It returns the Iteration Difference Coverage metric, how many
 // feedback-visible branches were new, and how many branches were new at all.
+//
+// Execution is fault-isolated: a panic in the interpreter is recovered, a
+// fuel-exhausted step is aborted, and a NaN/Inf outport is flagged — each
+// becomes a deduplicated Finding and the campaign continues with the partial
+// metric accumulated so far.
 func (e *Engine) RunInput(data []byte) (metric int, newMasked, newAny int) {
 	rec := e.rec
 	e.lastViolated = false
+	e.lastInputFuel = 0
+	step := -1
+	defer func() {
+		e.execs++
+		if r := recover(); r != nil {
+			site := fmt.Sprint(r)
+			e.recordFinding(FindingCrash, data, step, site,
+				fmt.Sprintf("recovered panic at step %d: %v", step, r))
+		}
+	}()
 	rec.BeginStep()
-	e.m.Init()
+	initErr := e.m.Init()
+	e.lastInputFuel += e.m.LastFuelUsed()
 	// Coverage triggered by initialization (e.g. chart entry actions)
 	// counts toward totals but not toward the iteration metric.
 	for b, v := range rec.Curr {
@@ -231,6 +375,10 @@ func (e *Engine) RunInput(data []byte) (metric int, newMasked, newAny int) {
 			e.noteNewBranch(b, &newMasked, &newAny)
 		}
 	}
+	if initErr != nil {
+		e.noteHang(data, step, initErr)
+		return metric, newMasked, newAny
+	}
 	for i := range e.last {
 		e.last[i] = 0
 	}
@@ -238,12 +386,14 @@ func (e *Engine) RunInput(data []byte) (metric int, newMasked, newAny int) {
 	n := len(data) / e.tuple
 	fields := e.c.Prog.In
 	for it := 0; it < n; it++ {
+		step = it
 		base := it * e.tuple
 		for fi, f := range fields {
 			e.tupleBuf[fi] = model.GetRaw(f.Type, data[base+f.Offset:])
 		}
 		rec.BeginStep()
-		e.m.Step(e.tupleBuf)
+		stepErr := e.m.Step(e.tupleBuf)
+		e.lastInputFuel += e.m.LastFuelUsed()
 		e.steps++
 		curr := rec.Curr
 		for _, br := range e.assertBranches {
@@ -263,9 +413,30 @@ func (e *Engine) RunInput(data []byte) (metric int, newMasked, newAny int) {
 				last[b] = c
 			}
 		}
+		if stepErr != nil {
+			// The aborted step's partial coverage above still counts; the
+			// remaining iterations of this input are abandoned.
+			e.noteHang(data, it, stepErr)
+			break
+		}
+		if len(e.floatOuts) > 0 {
+			e.checkNumeric(data, it)
+		}
 	}
-	e.execs++
 	return metric, newMasked, newAny
+}
+
+// checkNumeric flags NaN or Inf on any float outport after a step — numeric
+// poison that a downstream controller would consume silently.
+func (e *Engine) checkNumeric(data []byte, step int) {
+	out := e.m.Out()
+	for _, fo := range e.floatOuts {
+		v := model.DecodeFloat(fo.dt, out[fo.idx])
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			e.recordFinding(FindingNumericAnomaly, data, step, "out:"+fo.name,
+				fmt.Sprintf("outport %s = %g at step %d", fo.name, v, step))
+		}
+	}
 }
 
 func (e *Engine) noteNewBranch(b int, newMasked, newAny *int) {
@@ -281,10 +452,32 @@ func (e *Engine) noteNewBranch(b int, newMasked, newAny *int) {
 	}
 }
 
-// Run executes the fuzzing campaign.
+// Run executes the fuzzing campaign. It survives hanging, panicking and
+// numerically anomalous inputs (triaged into Result.Findings), honours an
+// external stop request, and — when checkpointing is configured — persists
+// the campaign state so a killed process can resume where it stopped.
 func (e *Engine) Run() *Result {
 	e.start = time.Now()
+	e.lastCkpt = e.start
+	if e.opts.Stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-e.opts.Stop:
+				e.Stop()
+			case <-done:
+			}
+		}()
+	}
 	e.samplePoint()
+
+	// A resumed campaign replays its saved corpus first: that regenerates
+	// coverage, cases and findings, then restores weights and counters.
+	if e.resumed != nil {
+		e.replayCheckpoint(e.resumed)
+		e.resumed = nil
+	}
 
 	// Seed corpus: the empty input, a single zero tuple, a few random
 	// streams, and any caller-provided seeds (e.g. constraint-solver
@@ -305,8 +498,18 @@ func (e *Engine) Run() *Result {
 		e.tryInput(s)
 	}
 
+	// The wall-clock deadline is normally tested every checkEvery execs to
+	// keep time.Since off the hot path; any input that burned at least
+	// fuelWarn instructions (a near-hang) forces an immediate re-check so
+	// one slow input cannot overshoot the budget by a whole batch.
 	checkEvery := int64(256)
+	fuelWarn := e.m.Fuel() / 8
+	stopped := false
 	for {
+		if e.stopFlag.Load() {
+			stopped = true
+			break
+		}
 		if e.opts.MaxExecs > 0 && e.execs >= e.opts.MaxExecs {
 			break
 		}
@@ -314,7 +517,10 @@ func (e *Engine) Run() *Result {
 			break
 		}
 		if e.opts.MaxExecs == 0 && e.opts.Budget == 0 {
-			break // no budget: seeds only
+			break // resume-replay only: no further budget
+		}
+		if e.execs%checkEvery == 0 {
+			e.maybeCheckpoint()
 		}
 		parent := e.pick()
 		other := e.pick()
@@ -325,8 +531,16 @@ func (e *Engine) Run() *Result {
 			cand = e.mut.Mutate(parent, other)
 		}
 		e.tryInput(cand)
+		if e.lastInputFuel >= fuelWarn && e.opts.Budget > 0 && time.Since(e.start) >= e.opts.Budget {
+			break
+		}
 	}
 
+	if e.opts.CheckpointPath != "" {
+		if err := e.WriteCheckpoint(e.opts.CheckpointPath); err != nil {
+			e.ckptErr = err
+		}
+	}
 	e.samplePoint()
 	return &Result{
 		Report: e.rec.Report(),
@@ -335,11 +549,15 @@ func (e *Engine) Run() *Result {
 			Layout: model.Layout{Fields: e.c.Prog.In, TupleSize: e.tuple},
 			Cases:  e.cases,
 		},
-		Execs:      e.execs,
-		Steps:      e.steps,
-		Timeline:   e.timeline,
-		Corpus:     len(e.corpus),
-		Violations: e.violations,
+		Execs:           e.execs,
+		Steps:           e.steps,
+		Timeline:        e.timeline,
+		Corpus:          len(e.corpus),
+		Violations:      e.violations,
+		Findings:        e.findings,
+		DroppedFindings: e.droppedFindings,
+		Stopped:         stopped,
+		CheckpointErr:   e.ckptErr,
 	}
 }
 

@@ -33,7 +33,7 @@ func TestIterationDifferenceMetric(t *testing.T) {
 
 	// Constant input: only the first iteration differs from the (empty)
 	// previous coverage.
-	e := NewEngine(c, Options{Seed: 1})
+	e := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	metric, _, newAny := e.RunInput([]byte{1, 1, 1})
 	if metric != 1 {
 		t.Errorf("constant input: want metric 1, got %d", metric)
@@ -43,7 +43,7 @@ func TestIterationDifferenceMetric(t *testing.T) {
 	}
 
 	// Alternating input: each flip toggles two branch slots.
-	e2 := NewEngine(c, Options{Seed: 1})
+	e2 := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	metric2, _, new2 := e2.RunInput([]byte{1, 0, 1})
 	// iter1: {T} vs {} -> 1; iter2: {F} vs {T} -> 2; iter3: {T} vs {F} -> 2.
 	if metric2 != 5 {
@@ -60,7 +60,7 @@ func TestIterationDifferenceMetric(t *testing.T) {
 // T, T, F gives 1 (iter1) + 0 (iter2) + 2 (iter3) = 3.
 func TestFigure6Schematic(t *testing.T) {
 	c := switchOnly(t)
-	e := NewEngine(c, Options{Seed: 1})
+	e := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	metric, _, _ := e.RunInput([]byte{1, 1, 0})
 	if metric != 3 {
 		t.Errorf("want metric 3 (= 1+0+2), got %d", metric)
@@ -76,7 +76,7 @@ func TestShortInputDiscarded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	e := NewEngine(c, Options{Seed: 1})
+	e := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	before := e.steps
 	// 11 bytes = one full 8-byte tuple + 3 trailing bytes (discarded).
 	e.RunInput(make([]byte, 11))
@@ -98,7 +98,7 @@ func TestEngineRunFindsCoverage(t *testing.T) {
 		t.Fatalf("Compile: %v", err)
 	}
 
-	e := NewEngine(c, Options{Seed: 42, MaxExecs: 30000})
+	e := MustEngine(c, Options{Seed: 42, MaxExecs: 30000})
 	res := e.Run()
 	if res.Report.Decision() < 100 {
 		t.Errorf("fuzzer should fully cover the gated switch: got %.1f%% decision (uncovered %v)",
@@ -117,8 +117,8 @@ func TestEngineRunFindsCoverage(t *testing.T) {
 
 func TestEngineDeterministicWithSeed(t *testing.T) {
 	c := switchOnly(t)
-	r1 := NewEngine(c, Options{Seed: 7, MaxExecs: 2000}).Run()
-	r2 := NewEngine(c, Options{Seed: 7, MaxExecs: 2000}).Run()
+	r1 := MustEngine(c, Options{Seed: 7, MaxExecs: 2000}).Run()
+	r2 := MustEngine(c, Options{Seed: 7, MaxExecs: 2000}).Run()
 	if r1.Steps != r2.Steps || r1.Execs != r2.Execs || len(r1.Suite.Cases) != len(r2.Suite.Cases) {
 		t.Errorf("same seed must replay identically: steps %d vs %d, execs %d vs %d, cases %d vs %d",
 			r1.Steps, r2.Steps, r1.Execs, r2.Execs, len(r1.Suite.Cases), len(r2.Suite.Cases))

@@ -1,0 +1,102 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"cftcg/internal/vm"
+)
+
+// FindingKind classifies a fault-tolerance finding. Industrial fuzzers treat
+// these as first-class results next to coverage: a hanging or crashing input
+// is a bug report, not a reason to lose the campaign.
+type FindingKind uint8
+
+const (
+	// FindingCrash is a panic inside the execution stack, recovered by the
+	// engine so the campaign continues.
+	FindingCrash FindingKind = iota
+	// FindingHang is an input whose execution exhausted the per-step
+	// instruction fuel (a runaway loop on that input).
+	FindingHang
+	// FindingNumericAnomaly is a NaN or Inf observed on a model outport —
+	// numerically poisoned state a controller downstream would ingest.
+	FindingNumericAnomaly
+)
+
+func (k FindingKind) String() string {
+	switch k {
+	case FindingCrash:
+		return "crash"
+	case FindingHang:
+		return "hang"
+	case FindingNumericAnomaly:
+		return "numeric-anomaly"
+	}
+	return "finding(?)"
+}
+
+// Finding is one triaged fault observation: the offending input, where in
+// the input it fired, and a site key used for deduplication (loop label for
+// hangs, panic message for crashes, outport name for numeric anomalies).
+type Finding struct {
+	Kind   FindingKind   `json:"kind"`
+	Input  []byte        `json:"input"`
+	Step   int           `json:"step"` // model iteration; -1 = during init
+	Site   string        `json:"site"`
+	Detail string        `json:"detail"`
+	Count  int           `json:"count"` // occurrences of this (kind, site)
+	Found  time.Duration `json:"found"` // first occurrence, campaign-relative
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s at %s (step %d, %d occurrence(s)): %s",
+		f.Kind, f.Site, f.Step, f.Count, f.Detail)
+}
+
+// maxFindings bounds stored findings; further distinct sites only bump
+// DroppedFindings so a pathological model cannot balloon the result.
+const maxFindings = 64
+
+// recordFinding dedups by (kind, site): the first input reaching a site is
+// kept as its reproducer, repeats only increment the count.
+func (e *Engine) recordFinding(kind FindingKind, input []byte, step int, site, detail string) {
+	key := kind.String() + "|" + site
+	if i, ok := e.findingIdx[key]; ok {
+		e.findings[i].Count++
+		return
+	}
+	if len(e.findings) >= maxFindings {
+		e.droppedFindings++
+		return
+	}
+	var found time.Duration
+	if !e.start.IsZero() {
+		found = time.Since(e.start)
+	}
+	e.findingIdx[key] = len(e.findings)
+	e.findings = append(e.findings, Finding{
+		Kind:   kind,
+		Input:  append([]byte(nil), input...),
+		Step:   step,
+		Site:   site,
+		Detail: detail,
+		Count:  1,
+		Found:  found,
+	})
+}
+
+// noteHang classifies a *vm.HangError as a Hang finding keyed by the loop
+// site the VM identified (falling back to the function and pc).
+func (e *Engine) noteHang(input []byte, step int, err error) {
+	site := ""
+	var hang *vm.HangError
+	if errors.As(err, &hang) {
+		site = hang.Site
+		if site == "" {
+			site = fmt.Sprintf("%s@pc%d", hang.Func, hang.PC)
+		}
+	}
+	e.recordFinding(FindingHang, input, step, site, err.Error())
+}

@@ -22,10 +22,13 @@ func Minimize(c *codegen.Compiled, cases []testcase.Case) []testcase.Case {
 	fields := c.Prog.In
 	in := make([]uint64, len(fields))
 
-	// coverageOf replays one case into a fresh per-case bitmap.
+	// coverageOf replays one case into a fresh per-case bitmap. A case that
+	// hangs mid-replay keeps the coverage accumulated up to the abort.
 	coverageOf := func(data []byte) []uint8 {
 		bits := make([]uint8, c.Plan.NumBranches)
-		m.Init()
+		if m.Init() != nil {
+			return bits
+		}
 		n := 0
 		if tuple > 0 {
 			n = len(data) / tuple
@@ -36,11 +39,14 @@ func Minimize(c *codegen.Compiled, cases []testcase.Case) []testcase.Case {
 				in[fi] = model.GetRaw(f.Type, data[base+f.Offset:])
 			}
 			rec.BeginStep()
-			m.Step(in)
+			err := m.Step(in)
 			for b, v := range rec.Curr {
 				if v != 0 {
 					bits[b] = 1
 				}
+			}
+			if err != nil {
+				break
 			}
 		}
 		return bits
@@ -109,18 +115,23 @@ func Trim(c *codegen.Compiled, data []byte) []byte {
 
 	coverageOf := func(d []byte) []uint8 {
 		bits := make([]uint8, c.Plan.NumBranches)
-		m.Init()
+		if m.Init() != nil {
+			return bits
+		}
 		for it := 0; it < len(d)/tuple; it++ {
 			base := it * tuple
 			for fi, f := range fields {
 				in[fi] = model.GetRaw(f.Type, d[base+f.Offset:])
 			}
 			rec.BeginStep()
-			m.Step(in)
+			err := m.Step(in)
 			for b, v := range rec.Curr {
 				if v != 0 {
 					bits[b] = 1
 				}
+			}
+			if err != nil {
+				break
 			}
 		}
 		return bits

@@ -51,7 +51,7 @@ func TestMinimizeDropsRedundantCases(t *testing.T) {
 
 func TestMinimizePreservesCoverage(t *testing.T) {
 	c := minimizeTarget(t)
-	res := NewEngine(c, Options{Seed: 4, MaxExecs: 10000}).Run()
+	res := MustEngine(c, Options{Seed: 4, MaxExecs: 10000}).Run()
 	before := res.Report
 	var cases []testcase.Case
 	cases = append(cases, res.Suite.Cases...)
@@ -60,7 +60,7 @@ func TestMinimizePreservesCoverage(t *testing.T) {
 		t.Fatal("minimization grew the suite")
 	}
 	// Replay the kept cases and compare decision/condition counts.
-	eng := NewEngine(c, Options{Seed: 99})
+	eng := MustEngine(c, Options{Seed: 99, MaxExecs: 1})
 	for _, k := range kept {
 		eng.RunInput(k.Data)
 	}
@@ -87,10 +87,10 @@ func TestTrimShortensWithoutLosingCoverage(t *testing.T) {
 		t.Fatalf("trim did not shorten: %d -> %d bytes", len(fat), len(slim))
 	}
 	// Coverage preserved: replay both and compare decision counts.
-	e1 := NewEngine(c, Options{Seed: 1})
+	e1 := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	e1.RunInput(fat)
 	before := e1.Recorder().Report()
-	e2 := NewEngine(c, Options{Seed: 1})
+	e2 := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	e2.RunInput(slim)
 	after := e2.Recorder().Report()
 	if after.DecisionCovered < before.DecisionCovered || after.CondCovered < before.CondCovered {
@@ -127,10 +127,10 @@ if (phase == 2) { hit = true; }
 		t.Errorf("trim kept %d tuples, expected <= 3", got)
 	}
 	// The trimmed case must still reach phase 2.
-	e := NewEngine(c, Options{Seed: 1})
+	e := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	e.RunInput(slim)
 	rep := e.Recorder().Report()
-	eFat := NewEngine(c, Options{Seed: 1})
+	eFat := MustEngine(c, Options{Seed: 1, MaxExecs: 1})
 	eFat.RunInput(fat)
 	if rep.DecisionCovered < eFat.Recorder().Report().DecisionCovered {
 		t.Error("trim broke the ordered sequence")
@@ -139,7 +139,10 @@ if (phase == 2) { hit = true; }
 
 func TestRunParallelMergesCoverage(t *testing.T) {
 	c := minimizeTarget(t)
-	res := RunParallel(c, Options{Seed: 1, MaxExecs: 3000}, 4)
+	res, err := RunParallel(c, Options{Seed: 1, MaxExecs: 3000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Execs < 4*3000 {
 		t.Errorf("workers should sum execs: %d", res.Execs)
 	}
@@ -163,12 +166,12 @@ func TestAssertionViolationsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := NewEngine(c, Options{Seed: 2, MaxExecs: 5000}).Run()
+	res := MustEngine(c, Options{Seed: 2, MaxExecs: 5000}).Run()
 	if len(res.Violations) == 0 {
 		t.Fatal("fuzzer failed to violate a trivially breakable assertion")
 	}
 	// Replaying a reported violation must hit the violated branch again.
-	eng := NewEngine(c, Options{Seed: 3})
+	eng := MustEngine(c, Options{Seed: 3, MaxExecs: 1})
 	eng.RunInput(res.Violations[0].Data)
 	if !eng.lastViolated {
 		t.Error("reported violation does not reproduce")

@@ -27,13 +27,13 @@ func authGate(t *testing.T) *codegen.Compiled {
 // ~2^32 tries.
 func TestHintsCrackMagicConstant(t *testing.T) {
 	c := authGate(t)
-	withHints := NewEngine(c, Options{Seed: 1, MaxExecs: 5000})
+	withHints := MustEngine(c, Options{Seed: 1, MaxExecs: 5000})
 	res := withHints.Run()
 	if res.Report.Decision() < 100 {
 		t.Errorf("hints should crack the magic constant: %.1f%% (uncovered %v)",
 			res.Report.Decision(), res.Report.UncoveredDecisions)
 	}
-	noHints := NewEngine(c, Options{Seed: 1, MaxExecs: 5000, NoHints: true})
+	noHints := MustEngine(c, Options{Seed: 1, MaxExecs: 5000, NoHints: true})
 	res2 := noHints.Run()
 	if res2.Report.Decision() >= 100 {
 		t.Log("blind mutation got lucky — acceptable but unexpected")
@@ -51,7 +51,7 @@ func TestRangesConstrainGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(c, Options{
+	e := MustEngine(c, Options{
 		Seed:     1,
 		MaxExecs: 20000,
 		NoHints:  true, // hints would place values exactly at the boundary
@@ -74,7 +74,7 @@ func TestSeedInputsEnterCorpus(t *testing.T) {
 	c := authGate(t)
 	seed := make([]byte, 4)
 	model.PutRaw(model.Int32, seed, model.EncodeInt(model.Int32, 777123456))
-	e := NewEngine(c, Options{Seed: 1, MaxExecs: 10, NoHints: true, SeedInputs: [][]byte{seed}})
+	e := MustEngine(c, Options{Seed: 1, MaxExecs: 10, NoHints: true, SeedInputs: [][]byte{seed}})
 	res := e.Run()
 	if res.Report.Decision() < 100 {
 		t.Errorf("seed input should cover the gate instantly: %.1f%%", res.Report.Decision())
@@ -100,7 +100,7 @@ func TestFuzzOnlyMaskHidesNonJumpProbes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := NewEngine(c, Options{Seed: 1, Mode: ModeFuzzOnly})
+	e := MustEngine(c, Options{Seed: 1, Mode: ModeFuzzOnly, MaxExecs: 1})
 	masked := 0
 	for _, v := range e.mask {
 		if v {
@@ -113,7 +113,7 @@ func TestFuzzOnlyMaskHidesNonJumpProbes(t *testing.T) {
 		t.Errorf("fuzz-only mask should hide all %d slots here, %d visible", len(e.mask), masked)
 	}
 
-	e2 := NewEngine(c, Options{Seed: 1, Mode: ModeModelOriented})
+	e2 := MustEngine(c, Options{Seed: 1, Mode: ModeModelOriented, MaxExecs: 1})
 	visible := 0
 	for _, v := range e2.mask {
 		if v {

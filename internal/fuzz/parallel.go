@@ -10,25 +10,38 @@ import (
 
 // RunParallel fuzzes one model with `workers` independent engines (distinct
 // seeds) and merges their results: the union of coverage, the concatenated
-// suites (minimized against the merged plan), and the summed work counters.
-// An in-process LibFuzzer-style engine shares nothing but the immutable
-// program, so this is plain data parallelism.
-func RunParallel(c *codegen.Compiled, opts Options, workers int) *Result {
+// suites (minimized against the merged plan), the summed work counters and
+// the deduplicated findings. An in-process LibFuzzer-style engine shares
+// nothing but the immutable program, so this is plain data parallelism.
+//
+// Checkpointing and resume apply to worker 0 only — a single checkpoint file
+// cannot represent independent corpora, so the other workers run stateless.
+func RunParallel(c *codegen.Compiled, opts Options, workers int) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	engines := make([]*Engine, workers)
+	for w := 0; w < workers; w++ {
+		o := opts
+		o.Seed = opts.Seed + int64(w)*7919 // distinct prime-spaced streams
+		if w > 0 {
+			o.CheckpointPath = ""
+			o.ResumeFrom = ""
+		}
+		eng, err := NewEngine(c, o)
+		if err != nil {
+			return nil, err
+		}
+		engines[w] = eng
+	}
+
 	results := make([]*Result, workers)
-	recorders := make([]*coverage.Recorder, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			o := opts
-			o.Seed = opts.Seed + int64(w)*7919 // distinct prime-spaced streams
-			eng := NewEngine(c, o)
-			results[w] = eng.Run()
-			recorders[w] = eng.Recorder()
+			results[w] = engines[w].Run()
 		}(w)
 	}
 	wg.Wait()
@@ -38,18 +51,33 @@ func RunParallel(c *codegen.Compiled, opts Options, workers int) *Result {
 		Model:  c.Prog.Name,
 		Layout: results[0].Suite.Layout,
 	}}
+	seenFindings := map[string]int{} // (kind, site) -> index in out.Findings
 	for w, r := range results {
-		merged.Merge(recorders[w])
+		merged.Merge(engines[w].Recorder())
 		out.Execs += r.Execs
 		out.Steps += r.Steps
 		out.Corpus += r.Corpus
 		out.Suite.Cases = append(out.Suite.Cases, r.Suite.Cases...)
 		out.Violations = append(out.Violations, r.Violations...)
+		out.Stopped = out.Stopped || r.Stopped
+		out.DroppedFindings += r.DroppedFindings
+		if r.CheckpointErr != nil {
+			out.CheckpointErr = r.CheckpointErr
+		}
+		for _, f := range r.Findings {
+			key := f.Kind.String() + "|" + f.Site
+			if i, ok := seenFindings[key]; ok {
+				out.Findings[i].Count += f.Count
+				continue
+			}
+			seenFindings[key] = len(out.Findings)
+			out.Findings = append(out.Findings, f)
+		}
 		if w == 0 {
 			out.Timeline = r.Timeline
 		}
 	}
 	out.Suite.Cases = Minimize(c, out.Suite.Cases)
 	out.Report = merged.Report()
-	return out
+	return out, nil
 }

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+)
+
+// failTool swaps the cell entry point so one tool errors, panics or wedges,
+// and restores it on cleanup.
+func failTool(t *testing.T, victim Tool, fail func() (ToolResult, error)) {
+	t.Helper()
+	orig := runTool
+	runTool = func(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult, error) {
+		if tool == victim {
+			return fail()
+		}
+		return orig(c, tool, cfg, seed)
+	}
+	t.Cleanup(func() { runTool = orig })
+}
+
+func degradedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Budget = 100 * time.Millisecond
+	cfg.Repetitions = 2
+	cfg.SLDVDepth = 3
+	return cfg
+}
+
+// TestDegradedCellOnError: an erroring tool becomes a degraded cell, and the
+// other tools on the same model still produce real numbers — the acceptance
+// scenario for a fault-tolerant Table 3.
+func TestDegradedCellOnError(t *testing.T) {
+	failTool(t, ToolSimCoTest, func() (ToolResult, error) {
+		return ToolResult{}, errors.New("engine license expired")
+	})
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RunModel(e, []Tool{ToolSLDV, ToolSimCoTest, ToolCFTCG}, degradedConfig())
+	if err != nil {
+		t.Fatalf("RunModel must not abort on a failing tool: %v", err)
+	}
+	bad := mr.Results[ToolSimCoTest]
+	if !bad.Failed || !strings.Contains(bad.FailReason, "license expired") {
+		t.Errorf("degraded cell = %+v", bad)
+	}
+	for _, tool := range []Tool{ToolSLDV, ToolCFTCG} {
+		tr := mr.Results[tool]
+		if tr.Failed {
+			t.Errorf("%s: healthy tool marked failed: %s", tool, tr.FailReason)
+		}
+		if tr.Decision == 0 {
+			t.Errorf("%s: healthy tool found no coverage", tool)
+		}
+	}
+}
+
+func TestDegradedCellOnPanic(t *testing.T) {
+	failTool(t, ToolCFTCG, func() (ToolResult, error) {
+		panic("index out of range [17]")
+	})
+	e, err := benchmodels.Get("TinyGate")
+	if err != nil {
+		e = benchmodels.All()[0]
+	}
+	mr, err := RunModel(e, []Tool{ToolCFTCG}, degradedConfig())
+	if err != nil {
+		t.Fatalf("panic must be contained: %v", err)
+	}
+	tr := mr.Results[ToolCFTCG]
+	if !tr.Failed || !strings.Contains(tr.FailReason, "panic") {
+		t.Errorf("cell = %+v, want panic-degraded", tr)
+	}
+}
+
+func TestDegradedCellOnDeadline(t *testing.T) {
+	failTool(t, ToolFuzzOnly, func() (ToolResult, error) {
+		time.Sleep(time.Hour)
+		return ToolResult{}, nil
+	})
+	cfg := degradedConfig()
+	cfg.CellTimeout = 50 * time.Millisecond
+	e := benchmodels.All()[0]
+	start := time.Now()
+	mr, err := RunModel(e, []Tool{ToolFuzzOnly}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+	tr := mr.Results[ToolFuzzOnly]
+	if !tr.Failed || !strings.Contains(tr.FailReason, "deadline") {
+		t.Errorf("cell = %+v, want deadline-degraded", tr)
+	}
+}
+
+func TestTable3RendersDegradedCells(t *testing.T) {
+	e := benchmodels.All()[0]
+	results := []ModelResult{{
+		Entry: e, Branches: 4, Blocks: 3,
+		Results: map[Tool]ToolResult{
+			ToolSLDV:      {Tool: ToolSLDV, Decision: 75},
+			ToolSimCoTest: {Tool: ToolSimCoTest, Failed: true, FailReason: "panic: boom"},
+			ToolCFTCG:     {Tool: ToolCFTCG, Decision: 100, Condition: 100, MCDC: 100},
+		},
+	}}
+	table := FormatTable3(results)
+	if !strings.Contains(table, "FAILED") {
+		t.Errorf("degraded cell not rendered:\n%s", table)
+	}
+	if !strings.Contains(table, "100.0%") {
+		t.Errorf("healthy cells missing:\n%s", table)
+	}
+	// The improvement footer must skip pairs with a failed member: SimCoTest
+	// failed, so only the SLDV comparison may appear.
+	if strings.Contains(table, "vs SimCoTest") {
+		t.Errorf("improvement footer used a failed baseline:\n%s", table)
+	}
+	if !strings.Contains(table, "vs SLDV") {
+		t.Errorf("healthy baseline comparison missing:\n%s", table)
+	}
+}
+
+func TestCellDeadlineDefault(t *testing.T) {
+	c := Config{Budget: time.Second}
+	if got := c.cellDeadline(); got != 4*time.Second+30*time.Second {
+		t.Errorf("derived deadline = %s", got)
+	}
+	c.CellTimeout = time.Minute
+	if got := c.cellDeadline(); got != time.Minute {
+		t.Errorf("explicit deadline = %s", got)
+	}
+}

@@ -57,6 +57,23 @@ type Config struct {
 
 	// Fuzzer parameters.
 	FuzzMaxTuples int
+	// FuzzFuel bounds instructions per model step (0 = vm.DefaultFuel).
+	FuzzFuel int64
+
+	// CellTimeout is the hard deadline for one tool×model×seed cell. A cell
+	// that exceeds it (or panics) is rendered as degraded in Table 3 instead
+	// of sinking the whole evaluation. 0 derives a deadline from Budget.
+	CellTimeout time.Duration
+}
+
+// cellDeadline returns the effective per-cell deadline: the configured
+// CellTimeout, or a generous multiple of the per-tool budget (tools need
+// setup/teardown time beyond the fuzzing budget itself).
+func (c Config) cellDeadline() time.Duration {
+	if c.CellTimeout > 0 {
+		return c.CellTimeout
+	}
+	return 4*c.Budget + 30*time.Second
 }
 
 // DefaultConfig returns a configuration suitable for laptop-scale runs.
@@ -90,6 +107,12 @@ type ToolResult struct {
 	Steps     int64
 	Cases     int
 	Timeline  []coverage.TimePoint // from the first repetition
+
+	// Failed marks a degraded cell: the tool errored, panicked or blew its
+	// per-cell deadline. The coverage fields are zero and Table 3 renders
+	// the cell as degraded instead of aborting the evaluation.
+	Failed     bool
+	FailReason string
 }
 
 // ModelResult aggregates all tools on one model.
@@ -137,12 +160,16 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 		if tool == ToolFuzzOnly {
 			mode = fuzz.ModeFuzzOnly
 		}
-		eng := fuzz.NewEngine(c, fuzz.Options{
+		eng, err := fuzz.NewEngine(c, fuzz.Options{
 			Seed:      seed,
 			Mode:      mode,
 			MaxTuples: cfg.FuzzMaxTuples,
 			Budget:    cfg.Budget,
+			Fuel:      cfg.FuzzFuel,
 		})
+		if err != nil {
+			return ToolResult{}, err
+		}
 		res := eng.Run()
 		rep := res.Report
 		return ToolResult{
@@ -162,13 +189,17 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 		for _, tc := range solverRes.Suite.Cases {
 			seedInputs = append(seedInputs, tc.Data)
 		}
-		eng := fuzz.NewEngine(c, fuzz.Options{
+		eng, err := fuzz.NewEngine(c, fuzz.Options{
 			Seed:       seed,
 			Mode:       fuzz.ModeModelOriented,
 			MaxTuples:  cfg.FuzzMaxTuples,
 			Budget:     cfg.Budget - cfg.Budget/4,
+			Fuel:       cfg.FuzzFuel,
 			SeedInputs: seedInputs,
 		})
+		if err != nil {
+			return ToolResult{}, err
+		}
 		res := eng.Run()
 		rep := res.Report
 		return ToolResult{
@@ -180,9 +211,47 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 	return ToolResult{}, fmt.Errorf("harness: unknown tool %q", tool)
 }
 
+// runTool is the cell entry point, indirected so tests can inject failures.
+var runTool = RunTool
+
+// runToolIsolated runs one tool cell behind a recover barrier and the
+// per-cell deadline: a panicking or wedged tool becomes a degraded cell
+// instead of sinking the whole Table 3 evaluation — the same isolation the
+// fuzz engine applies to individual inputs, one level up.
+func runToolIsolated(c *codegen.Compiled, tool Tool, cfg Config, seed int64) ToolResult {
+	type outcome struct {
+		tr  ToolResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	run := runTool // read the hook before spawning: the goroutine may outlive a deadline
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v", r)}
+			}
+		}()
+		tr, err := run(c, tool, cfg, seed)
+		ch <- outcome{tr: tr, err: err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return ToolResult{Tool: tool, Failed: true, FailReason: o.err.Error()}
+		}
+		return o.tr
+	case <-time.After(cfg.cellDeadline()):
+		// The cell goroutine is abandoned; every tool is budget-bounded, so
+		// it will exit on its own once its (overshot) budget expires.
+		return ToolResult{Tool: tool, Failed: true,
+			FailReason: fmt.Sprintf("deadline %s exceeded", cfg.cellDeadline())}
+	}
+}
+
 // RunModel evaluates the given tools on one benchmark entry, averaging
 // randomized tools over cfg.Repetitions seeds (SLDV is deterministic and
-// runs once).
+// runs once). A failing tool yields a degraded cell, not an error: only
+// model compilation itself can fail the whole row.
 func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error) {
 	m := e.Build()
 	c, err := codegen.Compile(m)
@@ -202,9 +271,12 @@ func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error
 		}
 		var acc ToolResult
 		for r := 0; r < reps; r++ {
-			tr, err := RunTool(c, tool, cfg, cfg.Seed+int64(r))
-			if err != nil {
-				return ModelResult{}, err
+			tr := runToolIsolated(c, tool, cfg, cfg.Seed+int64(r))
+			if tr.Failed {
+				// One failed repetition degrades the whole cell; later
+				// repetitions are skipped (they share the failure cause).
+				acc = tr
+				break
 			}
 			if r == 0 {
 				acc = tr
@@ -217,12 +289,14 @@ func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error
 				acc.Cases += tr.Cases
 			}
 		}
-		acc.Decision /= float64(reps)
-		acc.Condition /= float64(reps)
-		acc.MCDC /= float64(reps)
-		acc.Execs /= int64(reps)
-		acc.Steps /= int64(reps)
-		acc.Cases /= reps
+		if !acc.Failed {
+			acc.Decision /= float64(reps)
+			acc.Condition /= float64(reps)
+			acc.MCDC /= float64(reps)
+			acc.Execs /= int64(reps)
+			acc.Steps /= int64(reps)
+			acc.Cases /= reps
+		}
 		mr.Results[tool] = acc
 	}
 	return mr, nil
@@ -281,6 +355,12 @@ func FormatTable3(results []ModelResult) string {
 			case ToolCFTCG:
 				p = mr.Entry.Paper.CFTCG
 			}
+			if tr.Failed {
+				fmt.Fprintf(&w, "%-9s %-10s | %31s | %7.0f%% %6.0f%% %6.0f%%\n",
+					mr.Entry.Name, tool, "FAILED: "+truncate(tr.FailReason, 23),
+					p.Decision, p.Condition, p.MCDC)
+				continue
+			}
 			fmt.Fprintf(&w, "%-9s %-10s | %8.1f%% %8.1f%% %8.1f%% | %7.0f%% %6.0f%% %6.0f%%\n",
 				mr.Entry.Name, tool, tr.Decision, tr.Condition, tr.MCDC,
 				p.Decision, p.Condition, p.MCDC)
@@ -302,7 +382,7 @@ func FormatImprovement(results []ModelResult) string {
 		for _, mr := range results {
 			b, okB := mr.Results[base]
 			f, okF := mr.Results[ToolCFTCG]
-			if !okB || !okF {
+			if !okB || !okF || b.Failed || f.Failed {
 				continue
 			}
 			dImp += relImprove(f.Decision, b.Decision)
@@ -317,6 +397,16 @@ func FormatImprovement(results []ModelResult) string {
 			base, dImp/float64(n), cImp/float64(n), mImp/float64(n))
 	}
 	return w.String()
+}
+
+// truncate caps a failure reason to n runes so a degraded cell stays within
+// its Table 3 column.
+func truncate(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
 }
 
 // relImprove computes the percentage improvement of a over b, clamping the
@@ -359,6 +449,10 @@ func FormatFigure7(results []ModelResult, budget time.Duration, points int) stri
 		for _, tool := range []Tool{ToolSLDV, ToolSimCoTest, ToolCFTCG} {
 			tr, ok := mr.Results[tool]
 			if !ok {
+				continue
+			}
+			if tr.Failed {
+				fmt.Fprintf(&w, "  %-10s FAILED: %s\n", tool, tr.FailReason)
 				continue
 			}
 			samples := SampleTimeline(tr.Timeline, budget, points)
@@ -406,7 +500,11 @@ func RunAblation(entries []benchmodels.Entry, execs int64, seed int64, reps int)
 				o := v.opts
 				o.Seed = seed + int64(r)
 				o.MaxExecs = execs
-				res := fuzz.NewEngine(c, o).Run()
+				eng, err := fuzz.NewEngine(c, o)
+				if err != nil {
+					return nil, err
+				}
+				res := eng.Run()
 				rep := res.Report
 				acc.Decision += rep.Decision()
 				acc.Condition += rep.Condition()
@@ -449,7 +547,7 @@ func FormatFigure8(results []ModelResult) string {
 	for _, mr := range results {
 		f, okF := mr.Results[ToolCFTCG]
 		o, okO := mr.Results[ToolFuzzOnly]
-		if !okF || !okO {
+		if !okF || !okO || f.Failed || o.Failed {
 			continue
 		}
 		fmt.Fprintf(&w, "%-9s | %6.1f%% %6.1f%% %6.1f%% | %6.1f%% %6.1f%% %6.1f%%\n",

@@ -9,6 +9,10 @@ import "cftcg/internal/model"
 type Asm struct {
 	Instrs []Instr
 	regs   *int32
+	// Loops records backward-jump addresses noted during lowering; the
+	// compiler copies them into Program.LoopSites with the owning function
+	// name filled in.
+	Loops []LoopSite
 }
 
 // NewAsm returns an empty assembler drawing registers from the shared
@@ -143,6 +147,12 @@ func (a *Asm) JmpIf(cond int32) int {
 // Jmp emits an unconditional forward jump with an unresolved target.
 func (a *Asm) Jmp() int {
 	return a.Emit(Instr{Op: OpJmp})
+}
+
+// NoteLoop records that the instruction at pc is a loop's backward jump,
+// labelled with the source construct for hang triage.
+func (a *Asm) NoteLoop(pc int, label string) {
+	a.Loops = append(a.Loops, LoopSite{PC: pc, Label: label})
 }
 
 // Patch sets the jump at address pc to target the current PC.

@@ -118,6 +118,16 @@ type Instr struct {
 	Imm uint64
 }
 
+// LoopSite marks the backward jump of a lowered loop (a script `while`, a
+// chart-internal cycle, …). The VM reports the nearest site when an
+// execution exhausts its instruction fuel, so hang findings name the model
+// construct that spun rather than a bare program counter.
+type LoopSite struct {
+	Func  string // "init" or "step"
+	PC    int    // address of the backward jump instruction
+	Label string // source construct, e.g. "Isqrt/isqrt while"
+}
+
 // Program is a complete lowered model: an init function that establishes
 // initial state and a step function executed once per model iteration.
 type Program struct {
@@ -125,6 +135,9 @@ type Program struct {
 
 	Init []Instr
 	Step []Instr
+
+	// LoopSites lists every backward-jump loop header, for hang triage.
+	LoopSites []LoopSite
 
 	NumRegs  int
 	NumState int
@@ -141,6 +154,32 @@ type Program struct {
 	// StateTypes records each state slot's data type (used by the
 	// constraint solver to decode the concrete initial state).
 	StateTypes []model.DType
+}
+
+// LoopSiteFor returns the label of the loop site in function fn whose
+// backward jump is nearest at or after pc — a loop body precedes its back
+// edge, so an execution stuck at pc most plausibly belongs to the first
+// back edge that follows it. Falls back to the last site before pc; empty
+// when the function has no recorded loops.
+func (p *Program) LoopSiteFor(fn string, pc int) string {
+	after, before := "", ""
+	afterPC, beforePC := -1, -1
+	for _, s := range p.LoopSites {
+		if s.Func != fn {
+			continue
+		}
+		if s.PC >= pc {
+			if afterPC < 0 || s.PC < afterPC {
+				after, afterPC = s.Label, s.PC
+			}
+		} else if s.PC > beforePC {
+			before, beforePC = s.Label, s.PC
+		}
+	}
+	if after != "" {
+		return after
+	}
+	return before
 }
 
 // TupleSize returns the number of input bytes consumed per model iteration.

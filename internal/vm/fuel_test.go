@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// loopProgram builds a step function that spins forever on a backward jump:
+// the canonical hang the execution fuel exists to catch.
+func loopProgram() *ir.Program {
+	var regs int32
+	a := ir.NewAsm(&regs)
+	x := a.LoadIn(model.Int32, 0)
+	a.StoreOut(0, x)
+	back := a.Emit(ir.Instr{Op: ir.OpJmp, Imm: 0}) // jump back to the load
+	a.NoteLoop(back, "Spin/forever while")
+	a.Halt()
+	init := ir.NewAsm(&regs)
+	init.Halt()
+	p := &ir.Program{
+		Name: "Spin", Init: init.Instrs, Step: a.Instrs, NumRegs: int(regs),
+		In:  []model.Field{{Name: "x", Type: model.Int32}},
+		Out: []model.Field{{Name: "o", Type: model.Int32}},
+	}
+	for _, s := range a.Loops {
+		p.LoopSites = append(p.LoopSites, ir.LoopSite{Func: "step", PC: s.PC, Label: s.Label})
+	}
+	return p
+}
+
+func TestFuelExhaustionReturnsHangError(t *testing.T) {
+	p := loopProgram()
+	m := New(p, nil)
+	m.SetFuel(1000)
+	if err := m.Init(); err != nil {
+		t.Fatalf("init must not hang: %v", err)
+	}
+	err := m.Step([]uint64{1})
+	if err == nil {
+		t.Fatal("infinite loop must exhaust fuel")
+	}
+	var hang *HangError
+	if !errors.As(err, &hang) {
+		t.Fatalf("want *HangError, got %T: %v", err, err)
+	}
+	if hang.Func != "step" || hang.Fuel != 1000 {
+		t.Errorf("hang = %+v, want step with fuel 1000", hang)
+	}
+	if hang.Site != "Spin/forever while" {
+		t.Errorf("site = %q, want the noted loop label", hang.Site)
+	}
+	if !strings.Contains(hang.Error(), "Spin/forever while") {
+		t.Errorf("message should name the loop: %q", hang.Error())
+	}
+	if got := m.LastFuelUsed(); got != 1000 {
+		t.Errorf("LastFuelUsed = %d, want the whole budget", got)
+	}
+}
+
+func TestFuelRechargesPerCall(t *testing.T) {
+	// A terminating program must run forever on a per-call budget barely
+	// above its cost: fuel is per call, not cumulative.
+	p := binProgram(ir.OpAdd, model.Int32)
+	m := New(p, nil)
+	m.SetFuel(16)
+	m.Init()
+	for i := 0; i < 10000; i++ {
+		if err := m.Step([]uint64{1, 2}); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if used := m.LastFuelUsed(); used <= 0 || used > 16 {
+		t.Errorf("LastFuelUsed = %d, want within (0, 16]", used)
+	}
+}
+
+func TestSetFuelDefaults(t *testing.T) {
+	m := New(binProgram(ir.OpAdd, model.Int32), nil)
+	if m.Fuel() != DefaultFuel {
+		t.Errorf("new machine fuel = %d, want DefaultFuel", m.Fuel())
+	}
+	m.SetFuel(-5)
+	if m.Fuel() != DefaultFuel {
+		t.Errorf("SetFuel(-5) = %d, want DefaultFuel restored", m.Fuel())
+	}
+	m.SetFuel(42)
+	if m.Fuel() != 42 {
+		t.Errorf("SetFuel(42) = %d", m.Fuel())
+	}
+}
+
+func TestLoopSiteForPrefersNearestBackEdge(t *testing.T) {
+	p := &ir.Program{LoopSites: []ir.LoopSite{
+		{Func: "step", PC: 10, Label: "outer"},
+		{Func: "step", PC: 6, Label: "inner"},
+		{Func: "init", PC: 3, Label: "init-loop"},
+	}}
+	// A pc inside the inner loop body reports the inner loop: its back edge
+	// is the nearest one at-or-after the pc.
+	if got := p.LoopSiteFor("step", 5); got != "inner" {
+		t.Errorf("pc 5 = %q, want inner", got)
+	}
+	// Past the inner back edge, only the outer loop can still be spinning.
+	if got := p.LoopSiteFor("step", 8); got != "outer" {
+		t.Errorf("pc 8 = %q, want outer", got)
+	}
+	// Past every back edge: fall back to the last one before the pc.
+	if got := p.LoopSiteFor("step", 12); got != "outer" {
+		t.Errorf("pc 12 = %q, want outer fallback", got)
+	}
+	if got := p.LoopSiteFor("init", 1); got != "init-loop" {
+		t.Errorf("init pc 1 = %q", got)
+	}
+	if got := p.LoopSiteFor("other", 1); got != "" {
+		t.Errorf("unknown fn = %q, want empty", got)
+	}
+}

@@ -6,12 +6,39 @@
 package vm
 
 import (
+	"fmt"
 	"math"
 
 	"cftcg/internal/coverage"
 	"cftcg/internal/ir"
 	"cftcg/internal/model"
 )
+
+// DefaultFuel is the per-call instruction budget of a machine. Legitimate
+// step functions stay far below it (the largest benchmark model executes a
+// few thousand instructions per iteration, and script while-loops are capped
+// at mlfunc.MaxWhileIter); a fuzzed input that burns a million instructions
+// in one step is wedged, and the campaign wants a Hang finding instead of a
+// dead process.
+const DefaultFuel = 1 << 20
+
+// HangError reports that one init or step call exhausted its instruction
+// fuel. PC is where execution was aborted and Site names the nearest lowered
+// loop construct, so the finding points at the model element that spun.
+type HangError struct {
+	Func string // "init" or "step"
+	PC   int
+	Fuel int64
+	Site string
+}
+
+func (e *HangError) Error() string {
+	msg := fmt.Sprintf("vm: %s exhausted %d-instruction fuel at pc %d", e.Func, e.Fuel, e.PC)
+	if e.Site != "" {
+		msg += " (loop " + e.Site + ")"
+	}
+	return msg
+}
 
 // Machine executes one program instance. It owns the register file, the
 // persistent state vector, and the output buffer; the coverage recorder is
@@ -22,6 +49,8 @@ type Machine struct {
 	state []uint64
 	out   []uint64
 	rec   *coverage.Recorder
+	fuel  int64 // per-call instruction budget
+	used  int64 // instructions consumed by the last call
 }
 
 // New creates a machine for the program. rec may be nil to run without
@@ -33,8 +62,25 @@ func New(p *ir.Program, rec *coverage.Recorder) *Machine {
 		state: make([]uint64, p.NumState),
 		out:   make([]uint64, len(p.Out)),
 		rec:   rec,
+		fuel:  DefaultFuel,
 	}
 }
+
+// SetFuel sets the per-call instruction budget; n <= 0 restores DefaultFuel.
+func (m *Machine) SetFuel(n int64) {
+	if n <= 0 {
+		n = DefaultFuel
+	}
+	m.fuel = n
+}
+
+// Fuel returns the per-call instruction budget.
+func (m *Machine) Fuel() int64 { return m.fuel }
+
+// LastFuelUsed returns how many instructions the most recent Init or Step
+// call executed — the fuzzing loop uses it to spot near-hang inputs and
+// re-check its wall-clock budget early.
+func (m *Machine) LastFuelUsed() int64 { return m.used }
 
 // Program returns the machine's program.
 func (m *Machine) Program() *ir.Program { return m.prog }
@@ -48,26 +94,33 @@ func (m *Machine) State() []uint64 { return m.state }
 
 // Init resets the machine and runs the program's init function — the
 // "model initialization code" the fuzz driver calls for every test input.
-func (m *Machine) Init() {
+// It returns a *HangError when the init function exhausts its fuel.
+func (m *Machine) Init() error {
 	for i := range m.state {
 		m.state[i] = 0
 	}
 	for i := range m.out {
 		m.out[i] = 0
 	}
-	m.exec(m.prog.Init, nil)
+	return m.exec("init", m.prog.Init, nil)
 }
 
 // Step runs one model iteration with the given input tuple (one raw value
-// per inport field).
-func (m *Machine) Step(in []uint64) {
-	m.exec(m.prog.Step, in)
+// per inport field). It returns a *HangError when the step exhausts its
+// instruction fuel (a runaway loop on this input).
+func (m *Machine) Step(in []uint64) error {
+	return m.exec("step", m.prog.Step, in)
 }
 
-func (m *Machine) exec(code []ir.Instr, in []uint64) {
+func (m *Machine) exec(fn string, code []ir.Instr, in []uint64) error {
 	regs := m.regs
 	rec := m.rec
+	fuel := m.fuel
 	for pc := 0; pc < len(code); {
+		if fuel--; fuel < 0 {
+			m.used = m.fuel
+			return &HangError{Func: fn, PC: pc, Fuel: m.fuel, Site: m.prog.LoopSiteFor(fn, pc)}
+		}
 		ins := &code[pc]
 		switch ins.Op {
 		case ir.OpNop:
@@ -173,10 +226,13 @@ func (m *Machine) exec(code []ir.Instr, in []uint64) {
 			}
 
 		case ir.OpHalt:
-			return
+			m.used = m.fuel - fuel
+			return nil
 		}
 		pc++
 	}
+	m.used = m.fuel - fuel
+	return nil
 }
 
 // arith computes a binary arithmetic op in type dt over raw values.

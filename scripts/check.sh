@@ -1,0 +1,30 @@
+#!/bin/sh
+# check.sh — the repository's CI gate: formatting, vet, build, race tests.
+# Exits non-zero on the first failure. Equivalent to `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+# Race mode runs -short: the headline campaign comparisons are
+# timing-sensitive and starve under the race detector's ~15x slowdown.
+echo "== go test -short -race =="
+go test -short -race ./...
+
+echo "OK"
