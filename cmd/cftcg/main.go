@@ -61,16 +61,22 @@ func main() {
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
 
-		var m fuzz.Mode
-		switch *mode {
-		case "cftcg":
-			m = fuzz.ModeModelOriented
-		case "fuzz-only":
-			m = fuzz.ModeFuzzOnly
-		case "no-iterdiff":
-			m = fuzz.ModeNoIterDiff
-		default:
-			fail(fmt.Errorf("unknown mode %q", *mode))
+		m, err := fuzz.ParseMode(*mode)
+		check(err)
+		// A single checkpoint file cannot represent the independent corpora
+		// of multiple workers, so fuzz.RunParallel runs workers 1..N-1
+		// stateless. Resuming such an ensemble would silently restore only
+		// worker 0 — reject it outright rather than mislead; plain
+		// checkpointing degrades visibly, so it only warns. The cftcgd
+		// campaign daemon checkpoints and resumes every shard.
+		if *workers > 1 && *resume != "" {
+			fail(fmt.Errorf("-resume with -workers %d: only worker 0 would resume; "+
+				"use -workers 1 or a cftcgd campaign (per-shard checkpoints)", *workers))
+		}
+		if *workers > 1 && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr,
+				"cftcg: warning: -checkpoint with -workers %d saves worker 0 only; "+
+					"a cftcgd campaign checkpoints every shard\n", *workers)
 		}
 		opts := fuzz.Options{
 			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
@@ -100,7 +106,6 @@ func main() {
 		opts.Stop = stop
 
 		var res *fuzz.Result
-		var err error
 		if *workers > 1 {
 			res, err = fuzz.RunParallel(sys.Compiled, opts, *workers)
 		} else {

@@ -1,0 +1,107 @@
+// Command cftcgd is the CFTCG campaign daemon: a long-running fuzzing
+// service that accepts campaign submissions over HTTP, runs each one as a
+// multi-shard ensemble with live cross-pollination, and exposes a JSON
+// status API plus Prometheus-text metrics.
+//
+//	cftcgd [-addr host:port] [-runners n] [-drain-timeout d]
+//
+// Endpoints (see internal/campaign.Server.Handler):
+//
+//	GET  /healthz                     liveness probe
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /api/campaigns               all campaigns with live snapshots
+//	POST /api/campaigns               submit {"model","shards","budget",...}
+//	GET  /api/campaigns/{id}          one campaign
+//	POST /api/campaigns/{id}/stop     stop a running / cancel a queued one
+//	GET  /api/campaigns/{id}/corpus   export coverage-carrying inputs
+//	POST /api/campaigns/{id}/corpus   inject cases into a running campaign
+//
+// A model is a built-in benchmark name (e.g. SolarPV) or the path of an
+// .slx-like container readable by the daemon. On SIGTERM/SIGINT the daemon
+// drains gracefully: the listener stops, queued campaigns are canceled,
+// running shards stop through their Options.Stop channels and flush their
+// per-shard checkpoints, then the process exits. A second signal kills it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/campaign"
+	"cftcg/internal/codegen"
+	"cftcg/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8355", "HTTP listen address (port 0 picks one)")
+	runners := flag.Int("runners", 1, "campaigns run concurrently (each fans out over its shards)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running campaigns on shutdown")
+	flag.Parse()
+
+	srv := campaign.NewServer(resolveModel, *runners)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cftcgd: listen: %v", err)
+	}
+	// The resolved address line is load-bearing: with -addr :0 it is how
+	// scripts (check.sh's smoke test) learn the chosen port.
+	log.Printf("cftcgd: listening on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("cftcgd: serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("cftcgd: %s — draining (again to kill)", sig)
+	}
+	go func() {
+		<-sigc
+		log.Fatal("cftcgd: killed")
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("cftcgd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		log.Fatalf("cftcgd: %v", err)
+	}
+	log.Print("cftcgd: drained")
+}
+
+// resolveModel turns a submission's model name into a compiled program: a
+// built-in benchmark name first, then a server-side .slx container path.
+func resolveModel(name string) (*codegen.Compiled, error) {
+	if e, err := benchmodels.Get(name); err == nil {
+		sys, err := core.FromModel(e.Build())
+		if err != nil {
+			return nil, err
+		}
+		return sys.Compiled, nil
+	}
+	if _, err := os.Stat(name); err == nil {
+		sys, err := core.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Compiled, nil
+	}
+	return nil, fmt.Errorf("%q is neither a built-in benchmark (%v) nor a readable model file",
+		name, benchmodels.Names())
+}

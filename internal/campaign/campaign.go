@@ -1,0 +1,283 @@
+// Package campaign is the long-running service layer above the fuzzing
+// engine: a Campaign manages N shard engines over one compiled model with
+// live cross-pollination and whole-campaign checkpointing, and Server wraps
+// campaigns in an HTTP control plane (queue, JSON status, Prometheus-text
+// metrics, corpus export/import, graceful drain).
+//
+// Cross-pollination fixes the main weakness of share-nothing parallel
+// fuzzing: with independent shards a discovery only helps its finder until
+// the end-of-run merge. Here every input that reaches *globally* new
+// coverage — gated by a mutex-guarded campaign-wide coverage.Progress — is
+// broadcast to the other shards' corpora while they run, the ensemble
+// analogue of libFuzzer's fork-mode corpus exchange.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/coverage"
+	"cftcg/internal/fuzz"
+)
+
+// Config describes a multi-shard campaign over one compiled model.
+type Config struct {
+	// Shards is the number of shard engines (defaults to 1).
+	Shards int
+	// Fuzz is the per-shard option template. Seeds are prime-spaced per
+	// shard; CheckpointPath and ResumeFrom are rewritten to per-shard
+	// suffixed files (fuzz.ShardCheckpointPath) so every shard — not just
+	// shard 0 — checkpoints and resumes; Stop and OnNewCoverage are owned
+	// by the campaign.
+	Fuzz fuzz.Options
+	// ShardSeeds optionally gives shard k additional seed inputs beyond
+	// Fuzz.SeedInputs (which every shard receives). Shorter than Shards is
+	// fine; extra entries are ignored.
+	ShardSeeds [][][]byte
+}
+
+// Campaign runs one model across N shard engines with live corpus
+// cross-pollination. Create with New, drive with Run (blocking), observe
+// concurrently with Snapshot, stop with Stop.
+type Campaign struct {
+	c       *codegen.Compiled
+	cfg     Config
+	engines []*fuzz.Engine
+	shared  *coverage.SharedProgress
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	pollinated atomic.Int64 // inputs broadcast for globally-new coverage
+	running    atomic.Bool
+
+	mu        sync.Mutex
+	startedAt time.Time
+	elapsed   time.Duration // frozen at Run completion
+	result    *fuzz.Result
+}
+
+// New validates the configuration and builds the shard engines. The
+// campaign does not start running until Run is called.
+func New(c *codegen.Compiled, cfg Config) (*Campaign, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	cm := &Campaign{
+		c:      c,
+		cfg:    cfg,
+		shared: coverage.NewShared(c.Plan),
+		stop:   make(chan struct{}),
+	}
+	cm.engines = make([]*fuzz.Engine, cfg.Shards)
+	for w := 0; w < cfg.Shards; w++ {
+		o := cfg.Fuzz
+		o.Seed = cfg.Fuzz.Seed + int64(w)*7919 // distinct prime-spaced streams
+		o.CheckpointPath = fuzz.ShardCheckpointPath(cfg.Fuzz.CheckpointPath, w)
+		o.ResumeFrom = fuzz.ShardCheckpointPath(cfg.Fuzz.ResumeFrom, w)
+		o.Stop = cm.stop
+		if w < len(cfg.ShardSeeds) && len(cfg.ShardSeeds[w]) > 0 {
+			o.SeedInputs = append(append([][]byte(nil), cfg.Fuzz.SeedInputs...), cfg.ShardSeeds[w]...)
+		}
+		shard := w
+		o.OnNewCoverage = func(input []byte, seen []uint8) {
+			cm.onNewCoverage(shard, input, seen)
+		}
+		eng, err := fuzz.NewEngine(c, o)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard %d: %w", w, err)
+		}
+		cm.engines[w] = eng
+	}
+	return cm, nil
+}
+
+// onNewCoverage is each shard's discovery callback (invoked from the
+// shard's own goroutine). The shared progress tracker decides global
+// novelty: a discovery that is new only locally — another shard got there
+// first — is not rebroadcast, which both keeps the broadcast volume
+// proportional to real frontier progress and prevents echo storms when a
+// pollinated input is re-admitted by its receiver.
+func (cm *Campaign) onNewCoverage(shard int, input []byte, seen []uint8) {
+	if cm.shared.Absorb(seen) == 0 {
+		return
+	}
+	cm.pollinated.Add(1)
+	for j, eng := range cm.engines {
+		if j != shard {
+			eng.Inject(input) // Inject copies; input is only valid during this call
+		}
+	}
+}
+
+// Run executes every shard concurrently and blocks until all finish, then
+// merges their results exactly like fuzz.RunParallel (union coverage,
+// deduplicated findings, ensemble timeline, minimized suite). Run may be
+// called once.
+func (cm *Campaign) Run() (*fuzz.Result, error) {
+	cm.mu.Lock()
+	if !cm.startedAt.IsZero() {
+		cm.mu.Unlock()
+		return nil, fmt.Errorf("campaign: Run called twice")
+	}
+	cm.startedAt = time.Now()
+	cm.mu.Unlock()
+	cm.running.Store(true)
+
+	// Relay an external stop request (daemon drain) into the shards.
+	if cm.cfg.Fuzz.Stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cm.cfg.Fuzz.Stop:
+				cm.Stop()
+			case <-done:
+			}
+		}()
+	}
+
+	results := make([]*fuzz.Result, len(cm.engines))
+	var wg sync.WaitGroup
+	for w := range cm.engines {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = cm.engines[w].Run()
+		}(w)
+	}
+	wg.Wait()
+	cm.running.Store(false)
+
+	recs := make([]*coverage.Recorder, len(cm.engines))
+	for w, eng := range cm.engines {
+		recs[w] = eng.Recorder()
+	}
+	out := fuzz.MergeResults(cm.c, recs, results)
+	out.Suite.Cases = fuzz.Minimize(cm.c, out.Suite.Cases)
+
+	cm.mu.Lock()
+	cm.elapsed = time.Since(cm.startedAt)
+	cm.result = out
+	cm.mu.Unlock()
+	return out, nil
+}
+
+// Stop asks every shard to stop cleanly: in-flight executions finish, final
+// per-shard checkpoints are flushed, and Run returns the merged partial
+// result. Safe to call from any goroutine, any number of times.
+func (cm *Campaign) Stop() {
+	cm.stopOnce.Do(func() { close(cm.stop) })
+}
+
+// Inject broadcasts an external input (corpus import) to every shard; each
+// shard's own admission policy decides whether it enters that corpus.
+func (cm *Campaign) Inject(data []byte) {
+	for _, eng := range cm.engines {
+		eng.Inject(data)
+	}
+}
+
+// CorpusExport returns copies of every shard's coverage-carrying inputs —
+// a seedable corpus snapshot, valid while the campaign runs and after.
+func (cm *Campaign) CorpusExport() [][]byte {
+	var out [][]byte
+	for _, eng := range cm.engines {
+		out = append(out, eng.Cases()...)
+	}
+	return out
+}
+
+// Result returns the merged result once Run has completed (nil before).
+func (cm *Campaign) Result() *fuzz.Result {
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	return cm.result
+}
+
+// ShardStatus is one shard's live counters in a campaign snapshot.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	fuzz.LiveStats
+}
+
+// Snapshot is a point-in-time view of a campaign, safe to take from any
+// goroutine while the shards run — the payload of the daemon's status API.
+type Snapshot struct {
+	Model  string        `json:"model"`
+	Shards []ShardStatus `json:"shards"`
+
+	Execs       int64   `json:"execs"`
+	Steps       int64   `json:"steps"`
+	ExecsPerSec float64 `json:"execsPerSec"`
+	Corpus      int     `json:"corpus"`
+	Cases       int     `json:"cases"`
+
+	// Global (union) coverage as tracked by the cross-pollination gate.
+	Decision  float64 `json:"decision"`
+	Condition float64 `json:"condition"`
+	Covered   int     `json:"covered"`
+
+	// Findings by kind, summed over shards (pre-dedup across shards; the
+	// merged Result dedups by site).
+	Findings map[string]int `json:"findings,omitempty"`
+
+	// Pollinated counts inputs broadcast for globally-new coverage;
+	// Received counts broadcasts that were admitted into some other
+	// shard's corpus.
+	Pollinated int64 `json:"pollinated"`
+	Received   int64 `json:"received"`
+
+	Running bool          `json:"running"`
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// findingKindNames mirrors fuzz.FindingKind.String for by-kind counters.
+var findingKindNames = [...]string{"crash", "hang", "numeric-anomaly"}
+
+// Snapshot assembles the campaign's live status from every shard's
+// thread-safe counters and the shared coverage view.
+func (cm *Campaign) Snapshot() Snapshot {
+	s := Snapshot{
+		Model:    cm.c.Prog.Name,
+		Shards:   make([]ShardStatus, len(cm.engines)),
+		Findings: map[string]int{},
+		Running:  cm.running.Load(),
+	}
+	for i, eng := range cm.engines {
+		ls := eng.LiveStats()
+		s.Shards[i] = ShardStatus{Shard: i, LiveStats: ls}
+		s.Execs += ls.Execs
+		s.Steps += ls.Steps
+		s.Corpus += ls.Corpus
+		s.Cases += ls.Cases
+		s.Received += ls.InjectedAdmitted
+		for k, n := range ls.FindingsByKind {
+			if n > 0 && k < len(findingKindNames) {
+				s.Findings[findingKindNames[k]] += n
+			}
+		}
+	}
+	s.Decision = cm.shared.Decision()
+	s.Condition = cm.shared.Condition()
+	s.Covered = cm.shared.Covered()
+	s.Pollinated = cm.pollinated.Load()
+
+	cm.mu.Lock()
+	switch {
+	case cm.startedAt.IsZero():
+		// queued: zero elapsed
+	case cm.result != nil:
+		s.Elapsed = cm.elapsed
+	default:
+		s.Elapsed = time.Since(cm.startedAt)
+	}
+	cm.mu.Unlock()
+	if sec := s.Elapsed.Seconds(); sec > 0 {
+		s.ExecsPerSec = float64(s.Execs) / sec
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/fuzz"
+	"cftcg/internal/model"
+)
+
+// magicModel has a decision outcome that undirected mutation essentially
+// never reaches: equality against a magic int32 constant. With hints
+// disabled, a shard can only cover eq-true by being handed the input —
+// which makes corpus transport between shards observable.
+func magicModel(t *testing.T) *codegen.Compiled {
+	t.Helper()
+	b := model.NewBuilder("Magic")
+	u := b.Inport("u", model.Int32)
+	eq := b.Rel("==", u, b.ConstT(model.Int32, 123456789))
+	b.Outport("y", model.Int32, b.Switch(eq, b.ConstT(model.Int32, 1), b.ConstT(model.Int32, 0)))
+	c, err := codegen.Compile(b.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func magicInput() []byte {
+	data := make([]byte, 4)
+	model.PutRaw(model.Int32, data, model.EncodeInt(model.Int32, 123456789))
+	return data
+}
+
+// TestCrossPollination is the acceptance scenario: only shard 0 is seeded
+// with the magic input; the test observes — while the campaign is still
+// running, via the live Snapshot — that the input crossed into shard 1's
+// corpus, then stops the campaign and checks the merged report.
+func TestCrossPollination(t *testing.T) {
+	c := magicModel(t)
+	cm, err := New(c, Config{
+		Shards: 2,
+		Fuzz: fuzz.Options{
+			Seed:    1,
+			Budget:  time.Minute, // stopped explicitly below
+			NoHints: true,
+		},
+		ShardSeeds: [][][]byte{{magicInput()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var res *fuzz.Result
+	go func() {
+		defer close(done)
+		res, err = cm.Run()
+	}()
+
+	// Poll the live status plane until the pollinated input lands in shard
+	// 1's corpus — by construction this happens before the final merge.
+	deadline := time.Now().Add(20 * time.Second)
+	var snap Snapshot
+	for {
+		snap = cm.Snapshot()
+		if snap.Shards[1].InjectedAdmitted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cm.Stop()
+			<-done
+			t.Fatalf("magic input never reached shard 1's corpus: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !snap.Running {
+		t.Error("snapshot taken mid-campaign should report running")
+	}
+	if snap.Pollinated < 1 {
+		t.Errorf("pollination counter should be positive, got %d", snap.Pollinated)
+	}
+
+	cm.Stop()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("explicitly stopped campaign should report Stopped")
+	}
+	if res.Report.Decision() < 100 {
+		t.Errorf("merged report should cover the magic branch, got %.1f%%", res.Report.Decision())
+	}
+	// The transported input gave shard 1 coverage it cannot reach alone.
+	final := cm.Snapshot()
+	if final.Shards[1].Covered < c.Plan.NumBranches {
+		t.Errorf("shard 1 should have full branch coverage via pollination: %d/%d",
+			final.Shards[1].Covered, c.Plan.NumBranches)
+	}
+	if final.Running {
+		t.Error("finished campaign should not report running")
+	}
+	if cm.Result() != res {
+		t.Error("Result() should return the merged result")
+	}
+}
+
+// TestWholeCampaignCheckpoint: every shard — not just shard 0 — writes a
+// resumable checkpoint, and a second campaign restores all of them.
+func TestWholeCampaignCheckpoint(t *testing.T) {
+	c := magicModel(t)
+	base := filepath.Join(t.TempDir(), "campaign.ckpt")
+	cm, err := New(c, Config{
+		Shards:     2,
+		Fuzz:       fuzz.Options{Seed: 1, MaxExecs: 1500, NoHints: true, CheckpointPath: base},
+		ShardSeeds: [][][]byte{{magicInput()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := cm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CheckpointErr != nil {
+		t.Fatalf("checkpoint flush: %v", res1.CheckpointErr)
+	}
+	for shard := 0; shard < 2; shard++ {
+		path := fuzz.ShardCheckpointPath(base, shard)
+		cp, err := fuzz.LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("shard %d checkpoint: %v", shard, err)
+		}
+		if cp.Model != "Magic" || len(cp.Corpus) == 0 {
+			t.Errorf("shard %d checkpoint: model %q, corpus %d", shard, cp.Model, len(cp.Corpus))
+		}
+	}
+
+	// Resume the whole ensemble: the magic branch must survive the restart
+	// even though only the replayed corpora carry it.
+	cm2, err := New(c, Config{
+		Shards: 2,
+		Fuzz:   fuzz.Options{Seed: 99, MaxExecs: 1700, NoHints: true, ResumeFrom: base},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := cm2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Report.Decision() < res1.Report.Decision() {
+		t.Errorf("resumed campaign lost coverage: %.1f%% < %.1f%%",
+			res2.Report.Decision(), res1.Report.Decision())
+	}
+	if res2.Execs < res1.Execs {
+		t.Errorf("resumed execs went backwards: %d < %d", res2.Execs, res1.Execs)
+	}
+}
+
+func TestCampaignRunTwiceRejected(t *testing.T) {
+	c := magicModel(t)
+	cm, err := New(c, Config{Fuzz: fuzz.Options{Seed: 1, MaxExecs: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Run(); err == nil {
+		t.Error("second Run should be rejected")
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// writeMetrics renders the Prometheus text exposition format (version
+// 0.0.4) by hand — a handful of gauges and counters does not justify a
+// client library dependency. Campaign-level series are labelled with the
+// job id and model; per-shard series add a shard label.
+func (s *Server) writeMetrics(w io.Writer) {
+	jobs := s.Jobs()
+	states := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCanceled: 0,
+	}
+	statuses := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.status()
+		states[statuses[i].State]++
+	}
+
+	fmt.Fprintln(w, "# HELP cftcgd_uptime_seconds Seconds since the daemon started.")
+	fmt.Fprintln(w, "# TYPE cftcgd_uptime_seconds gauge")
+	fmt.Fprintf(w, "cftcgd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintln(w, "# HELP cftcgd_campaigns Campaigns known to the daemon, by state.")
+	fmt.Fprintln(w, "# TYPE cftcgd_campaigns gauge")
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(w, "cftcgd_campaigns{state=%q} %d\n", state, states[state])
+	}
+
+	fmt.Fprintln(w, "# HELP cftcg_campaign_execs_total Fuzz-driver executions per campaign.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_execs_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_execs_per_second Aggregate campaign throughput.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_execs_per_second gauge")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_corpus_size Corpus entries summed over shards.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_corpus_size gauge")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_decision_coverage_percent Global decision coverage.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_decision_coverage_percent gauge")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_condition_coverage_percent Global condition coverage.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_condition_coverage_percent gauge")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_findings_total Distinct findings per campaign by kind.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_findings_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_pollinations_total Inputs broadcast between shards for globally-new coverage.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_pollinations_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_shard_execs_total Fuzz-driver executions per shard.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_shard_execs_total counter")
+
+	for _, st := range statuses {
+		if st.Snapshot == nil {
+			continue
+		}
+		snap := st.Snapshot
+		base := fmt.Sprintf("campaign=%q,model=%q", fmt.Sprint(st.ID), st.Model)
+		fmt.Fprintf(w, "cftcg_campaign_execs_total{%s} %d\n", base, snap.Execs)
+		fmt.Fprintf(w, "cftcg_campaign_execs_per_second{%s} %g\n", base, snap.ExecsPerSec)
+		fmt.Fprintf(w, "cftcg_campaign_corpus_size{%s} %d\n", base, snap.Corpus)
+		fmt.Fprintf(w, "cftcg_campaign_decision_coverage_percent{%s} %g\n", base, snap.Decision)
+		fmt.Fprintf(w, "cftcg_campaign_condition_coverage_percent{%s} %g\n", base, snap.Condition)
+		for _, kind := range findingKindNames {
+			fmt.Fprintf(w, "cftcg_campaign_findings_total{%s,kind=%q} %d\n", base, kind, snap.Findings[kind])
+		}
+		fmt.Fprintf(w, "cftcg_campaign_pollinations_total{%s} %d\n", base, snap.Pollinated)
+		for _, sh := range snap.Shards {
+			fmt.Fprintf(w, "cftcg_campaign_shard_execs_total{%s,shard=\"%d\"} %d\n", base, sh.Shard, sh.Execs)
+		}
+	}
+}

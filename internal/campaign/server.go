@@ -1,0 +1,487 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cftcg/internal/codegen"
+	"cftcg/internal/coverage"
+	"cftcg/internal/fuzz"
+)
+
+// ModelResolver turns a submitted model name into a compiled program. The
+// daemon binds this to the built-in benchmarks plus on-disk .slx containers;
+// tests bind it to builder-made models.
+type ModelResolver func(name string) (*codegen.Compiled, error)
+
+// Spec is the JSON body of a campaign submission.
+type Spec struct {
+	Model     string `json:"model"`               // resolver name (benchmark or server-side path)
+	Shards    int    `json:"shards,omitempty"`    // default 1
+	Budget    string `json:"budget,omitempty"`    // Go duration, e.g. "30s" (default 10s if no execs)
+	MaxExecs  int64  `json:"execs,omitempty"`     // execution budget (0 = budget only)
+	Seed      int64  `json:"seed,omitempty"`      // default 1
+	Mode      string `json:"mode,omitempty"`      // cftcg | fuzz-only | no-iterdiff
+	MaxTuples int    `json:"maxTuples,omitempty"` // input length cap in tuples
+	Fuel      int64  `json:"fuel,omitempty"`      // per-step instruction budget
+	// Checkpoint enables per-shard crash-safe checkpoints under this
+	// server-side base path; Resume restores them on a later submission.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Resume     string `json:"resume,omitempty"`
+}
+
+// options translates the wire spec into engine options.
+func (sp *Spec) options() (fuzz.Options, error) {
+	mode, err := fuzz.ParseMode(sp.Mode)
+	if err != nil {
+		return fuzz.Options{}, err
+	}
+	opts := fuzz.Options{
+		Seed:           sp.Seed,
+		Mode:           mode,
+		MaxExecs:       sp.MaxExecs,
+		MaxTuples:      sp.MaxTuples,
+		Fuel:           sp.Fuel,
+		CheckpointPath: sp.Checkpoint,
+		ResumeFrom:     sp.Resume,
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if sp.Budget != "" {
+		d, err := time.ParseDuration(sp.Budget)
+		if err != nil {
+			return fuzz.Options{}, fmt.Errorf("bad budget: %w", err)
+		}
+		opts.Budget = d
+	}
+	if opts.Budget == 0 && opts.MaxExecs == 0 {
+		opts.Budget = 10 * time.Second
+	}
+	return opts, nil
+}
+
+// Job states. A job moves queued → running → done|failed; a queued job may
+// be canceled (drain or explicit stop) without ever running.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Job is one queued or executed campaign.
+type Job struct {
+	ID        int
+	Spec      Spec
+	Submitted time.Time
+
+	mu       sync.Mutex
+	state    string
+	campaign *Campaign
+	started  time.Time
+	finished time.Time
+	err      string
+	stopped  bool // finished on an external stop rather than budget
+	report   *coverage.Report
+	final    *Snapshot
+	corpus   [][]byte // export snapshot once done
+}
+
+// JobStatus is the wire rendering of a job for the status API.
+type JobStatus struct {
+	ID        int              `json:"id"`
+	Model     string           `json:"model"`
+	State     string           `json:"state"`
+	Spec      Spec             `json:"spec"`
+	Submitted time.Time        `json:"submitted"`
+	Started   *time.Time       `json:"started,omitempty"`
+	Finished  *time.Time       `json:"finished,omitempty"`
+	Stopped   bool             `json:"stopped,omitempty"`
+	Error     string           `json:"error,omitempty"`
+	Snapshot  *Snapshot        `json:"snapshot,omitempty"`
+	Report    *coverage.Report `json:"report,omitempty"`
+}
+
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Model:     j.Spec.Model,
+		State:     j.state,
+		Spec:      j.Spec,
+		Submitted: j.Submitted,
+		Stopped:   j.stopped,
+		Error:     j.err,
+		Report:    j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	switch {
+	case j.final != nil:
+		st.Snapshot = j.final
+	case j.campaign != nil:
+		snap := j.campaign.Snapshot()
+		st.Snapshot = &snap
+	}
+	return st
+}
+
+// Server is the campaign service: a submission queue, a bounded pool of
+// campaign runners, and the HTTP status/metrics plane. Everything is
+// stdlib net/http — the daemon stays dependency-free.
+type Server struct {
+	resolve ModelResolver
+	queue   chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	start   time.Time
+
+	mu       sync.Mutex
+	jobs     []*Job
+	byID     map[int]*Job
+	nextID   int
+	draining bool
+}
+
+// NewServer builds a campaign server running up to `runners` campaigns
+// concurrently (each campaign itself fans out over its shards). Call Drain
+// to shut it down.
+func NewServer(resolve ModelResolver, runners int) *Server {
+	if runners < 1 {
+		runners = 1
+	}
+	s := &Server{
+		resolve: resolve,
+		queue:   make(chan *Job, 128),
+		quit:    make(chan struct{}),
+		start:   time.Now(),
+		byID:    map[int]*Job{},
+		nextID:  1,
+	}
+	for i := 0; i < runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// runner consumes the queue until drain.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one campaign and records its outcome on the job.
+func (s *Server) runJob(job *Job) {
+	job.mu.Lock()
+	if job.state != StateQueued { // canceled while queued
+		job.mu.Unlock()
+		return
+	}
+	job.mu.Unlock()
+
+	fail := func(err error) {
+		job.mu.Lock()
+		job.state = StateFailed
+		job.err = err.Error()
+		job.finished = time.Now()
+		job.mu.Unlock()
+	}
+	compiled, err := s.resolve(job.Spec.Model)
+	if err != nil {
+		fail(fmt.Errorf("resolve model: %w", err))
+		return
+	}
+	opts, err := job.Spec.options()
+	if err != nil {
+		fail(err)
+		return
+	}
+	cm, err := New(compiled, Config{Shards: job.Spec.Shards, Fuzz: opts})
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	job.mu.Lock()
+	if job.state != StateQueued { // canceled between dequeue and build
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.campaign = cm
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	res, err := cm.Run()
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = time.Now()
+	if err != nil {
+		job.state = StateFailed
+		job.err = err.Error()
+		return
+	}
+	job.state = StateDone
+	job.stopped = res.Stopped
+	job.report = &res.Report
+	snap := cm.Snapshot()
+	job.final = &snap
+	job.corpus = cm.CorpusExport()
+	if res.CheckpointErr != nil {
+		job.err = "checkpoint: " + res.CheckpointErr.Error()
+	}
+}
+
+// Submit enqueues a campaign, returning the job or an error if the server
+// is draining or the queue is full.
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if spec.Model == "" {
+		return nil, fmt.Errorf("campaign: missing model")
+	}
+	if _, err := fuzz.ParseMode(spec.Mode); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("campaign: server is draining")
+	}
+	job := &Job{ID: s.nextID, Spec: spec, Submitted: time.Now(), state: StateQueued}
+	s.nextID++
+	s.jobs = append(s.jobs, job)
+	s.byID[job.ID] = job
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		job.mu.Lock()
+		job.state = StateFailed
+		job.err = "queue full"
+		job.mu.Unlock()
+		return nil, fmt.Errorf("campaign: queue full")
+	}
+}
+
+// Jobs returns all known jobs, oldest first.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Job(nil), s.jobs...)
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id int) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// StopJob stops a running job or cancels a queued one.
+func (s *Server) StopJob(id int) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return fmt.Errorf("campaign: no job %d", id)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.finished = time.Now()
+	case StateRunning:
+		j.campaign.Stop()
+	}
+	return nil
+}
+
+// Drain is the SIGTERM path: refuse new submissions, cancel queued jobs,
+// stop running campaigns via their shards' Options.Stop channels (each
+// shard flushes its final checkpoint on the way out), and wait — bounded by
+// ctx — for the runners to finish.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	jobs := append([]*Job(nil), s.jobs...)
+	s.mu.Unlock()
+	close(s.quit)
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			j.state = StateCanceled
+			j.finished = time.Now()
+		case StateRunning:
+			j.campaign.Stop()
+		}
+		j.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("campaign: drain timed out: %w", ctx.Err())
+	}
+}
+
+// corpusPayload is the wire format of corpus export/import: JSON with
+// base64-encoded cases (encoding/json's []byte rendering).
+type corpusPayload struct {
+	Model string   `json:"model,omitempty"`
+	Cases [][]byte `json:"cases"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	GET  /healthz                     liveness
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /api/campaigns               all jobs with live snapshots
+//	POST /api/campaigns               submit a Spec, returns the job
+//	GET  /api/campaigns/{id}          one job
+//	POST /api/campaigns/{id}/stop     stop a running / cancel a queued job
+//	GET  /api/campaigns/{id}/corpus   export coverage-carrying inputs
+//	POST /api/campaigns/{id}/corpus   inject cases into a running campaign
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /api/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]JobStatus, len(jobs))
+		for i, j := range jobs {
+			out[i] = j.status()
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("POST /api/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+			return
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.status())
+	})
+	mux.HandleFunc("GET /api/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobFromPath(w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, job.status())
+	})
+	mux.HandleFunc("POST /api/campaigns/{id}/stop", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobFromPath(w, r)
+		if !ok {
+			return
+		}
+		if err := s.StopJob(job.ID); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.status())
+	})
+	mux.HandleFunc("GET /api/campaigns/{id}/corpus", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobFromPath(w, r)
+		if !ok {
+			return
+		}
+		job.mu.Lock()
+		cases := job.corpus
+		cm := job.campaign
+		job.mu.Unlock()
+		if cases == nil && cm != nil {
+			cases = cm.CorpusExport()
+		}
+		writeJSON(w, http.StatusOK, corpusPayload{Model: job.Spec.Model, Cases: cases})
+	})
+	mux.HandleFunc("POST /api/campaigns/{id}/corpus", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobFromPath(w, r)
+		if !ok {
+			return
+		}
+		var payload corpusPayload
+		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad corpus: %w", err))
+			return
+		}
+		job.mu.Lock()
+		cm := job.campaign
+		state := job.state
+		job.mu.Unlock()
+		if state != StateRunning || cm == nil {
+			httpError(w, http.StatusConflict, fmt.Errorf("campaign %d is %s, not running", job.ID, state))
+			return
+		}
+		for _, c := range payload.Cases {
+			cm.Inject(c)
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"injected": len(payload.Cases)})
+	})
+	return mux
+}
+
+// jobFromPath resolves the {id} wildcard, writing the HTTP error itself.
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad campaign id %q", r.PathValue("id")))
+		return nil, false
+	}
+	job, ok := s.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no campaign %d", id))
+		return nil, false
+	}
+	return job, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

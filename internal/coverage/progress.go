@@ -1,17 +1,6 @@
 package coverage
 
-import "time"
-
-// TimePoint is one sample of a coverage-versus-time curve — the unit of the
-// paper's Figure 7. All three tools (CFTCG, SLDV, SimCoTest) emit the same
-// sample type so the harness can plot them together.
-type TimePoint struct {
-	Elapsed   time.Duration
-	Execs     int64
-	Decision  float64
-	Condition float64
-	Branches  int
-}
+import "sync"
 
 // Progress incrementally tracks campaign coverage percentages so timeline
 // sampling stays cheap (no MCDC pairing per sample).
@@ -76,3 +65,47 @@ func (pr *Progress) Condition() float64 {
 
 // Covered returns the number of branch slots covered so far.
 func (pr *Progress) Covered() int { return pr.covOut + pr.covCond }
+
+// SharedProgress is a mutex-guarded Progress for use as the global coverage
+// view of a multi-shard campaign: every shard folds its covered-branch
+// bitmap in from its own goroutine, and the status plane reads percentages
+// concurrently. Absorb's return value — how many slots were *globally* new —
+// is what gates cross-shard corpus broadcasts.
+type SharedProgress struct {
+	mu sync.Mutex
+	pr *Progress
+}
+
+// NewShared creates a thread-safe progress tracker for a plan.
+func NewShared(p *Plan) *SharedProgress {
+	return &SharedProgress{pr: NewProgress(p)}
+}
+
+// Absorb folds a covered-branch bitmap into the global view, returning how
+// many branch slots were new to the whole campaign.
+func (sp *SharedProgress) Absorb(seen []uint8) int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.pr.Absorb(seen)
+}
+
+// Decision returns the global Decision Coverage percentage.
+func (sp *SharedProgress) Decision() float64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.pr.Decision()
+}
+
+// Condition returns the global Condition Coverage percentage.
+func (sp *SharedProgress) Condition() float64 {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.pr.Condition()
+}
+
+// Covered returns the number of branch slots covered campaign-wide.
+func (sp *SharedProgress) Covered() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.pr.Covered()
+}

@@ -1,0 +1,73 @@
+package coverage
+
+import (
+	"sort"
+	"time"
+)
+
+// TimePoint is one sample of a coverage-versus-time curve — the unit of the
+// paper's Figure 7. All three tools (CFTCG, SLDV, SimCoTest) emit the same
+// sample type so the harness can plot them together.
+type TimePoint struct {
+	Elapsed   time.Duration
+	Execs     int64
+	Decision  float64
+	Condition float64
+	Branches  int
+}
+
+// MergeTimelines folds per-worker coverage timelines into one ensemble
+// curve. At every sample instant occurring in any input timeline, the merged
+// point sums each worker's execution count (carrying a worker's last sample
+// forward between its own instants) and takes the maximum coverage across
+// workers. The max is a conservative lower bound on the ensemble union —
+// exact union-over-time would require replaying every discovery, which the
+// cheap incremental samples cannot reconstruct — but unlike reporting worker
+// 0 alone it is monotone in the whole ensemble's progress and its execs axis
+// reflects the aggregate throughput.
+func MergeTimelines(timelines [][]TimePoint) []TimePoint {
+	switch len(timelines) {
+	case 0:
+		return nil
+	case 1:
+		return append([]TimePoint(nil), timelines[0]...)
+	}
+	var times []time.Duration
+	for _, tl := range timelines {
+		for _, p := range tl {
+			times = append(times, p.Elapsed)
+		}
+	}
+	if len(times) == 0 {
+		return nil
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	next := make([]int, len(timelines))       // next unconsumed sample per worker
+	last := make([]TimePoint, len(timelines)) // last consumed sample (zero before first)
+	var out []TimePoint
+	for _, t := range times {
+		if n := len(out); n > 0 && out[n-1].Elapsed == t {
+			continue // dedup identical instants
+		}
+		p := TimePoint{Elapsed: t}
+		for w, tl := range timelines {
+			for next[w] < len(tl) && tl[next[w]].Elapsed <= t {
+				last[w] = tl[next[w]]
+				next[w]++
+			}
+			p.Execs += last[w].Execs
+			if last[w].Decision > p.Decision {
+				p.Decision = last[w].Decision
+			}
+			if last[w].Condition > p.Condition {
+				p.Condition = last[w].Condition
+			}
+			if last[w].Branches > p.Branches {
+				p.Branches = last[w].Branches
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}

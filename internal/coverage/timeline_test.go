@@ -1,0 +1,58 @@
+package coverage
+
+import (
+	"testing"
+	"time"
+)
+
+func tp(ms int, execs int64, dec float64, branches int) TimePoint {
+	return TimePoint{
+		Elapsed:  time.Duration(ms) * time.Millisecond,
+		Execs:    execs,
+		Decision: dec,
+		Branches: branches,
+	}
+}
+
+func TestMergeTimelinesSumsExecsMaxesCoverage(t *testing.T) {
+	a := []TimePoint{tp(0, 0, 0, 0), tp(10, 100, 50, 2), tp(30, 300, 75, 3)}
+	b := []TimePoint{tp(0, 0, 0, 0), tp(20, 500, 25, 1)}
+	got := MergeTimelines([][]TimePoint{a, b})
+
+	// Sample instants are the union {0,10,20,30}.
+	if len(got) != 4 {
+		t.Fatalf("want 4 merged points, got %d: %v", len(got), got)
+	}
+	// At t=10ms: a=100 execs/50%%, b still at its t=0 sample.
+	if got[1].Execs != 100 || got[1].Decision != 50 {
+		t.Errorf("t=10ms: want execs 100 dec 50, got %+v", got[1])
+	}
+	// At t=20ms: execs sum 100+500, coverage max(50,25).
+	if got[2].Execs != 600 || got[2].Decision != 50 || got[2].Branches != 2 {
+		t.Errorf("t=20ms: want execs 600 dec 50 branches 2, got %+v", got[2])
+	}
+	// At t=30ms: execs 300+500, max decision 75.
+	if got[3].Execs != 800 || got[3].Decision != 75 || got[3].Branches != 3 {
+		t.Errorf("t=30ms: want execs 800 dec 75 branches 3, got %+v", got[3])
+	}
+	// Monotone execs axis.
+	for i := 1; i < len(got); i++ {
+		if got[i].Execs < got[i-1].Execs {
+			t.Errorf("execs not monotone at %d: %v", i, got)
+		}
+	}
+}
+
+func TestMergeTimelinesDegenerate(t *testing.T) {
+	if got := MergeTimelines(nil); got != nil {
+		t.Errorf("nil input: got %v", got)
+	}
+	one := []TimePoint{tp(5, 10, 1, 1)}
+	got := MergeTimelines([][]TimePoint{one})
+	if len(got) != 1 || got[0] != one[0] {
+		t.Errorf("single timeline should pass through, got %v", got)
+	}
+	if got := MergeTimelines([][]TimePoint{nil, nil}); got != nil {
+		t.Errorf("all-empty timelines: got %v", got)
+	}
+}

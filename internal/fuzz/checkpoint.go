@@ -114,6 +114,18 @@ func (e *Engine) WriteCheckpoint(path string) error {
 	return WriteCheckpoint(path, e.Snapshot())
 }
 
+// ShardCheckpointPath derives the checkpoint file for one shard of a
+// multi-shard campaign: a single checkpoint file cannot represent
+// independent corpora, so each shard persists (and resumes) its own
+// suffixed sibling of the campaign's base path. An empty base path stays
+// empty — checkpointing off stays off per shard.
+func ShardCheckpointPath(base string, shard int) string {
+	if base == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s.shard%d", base, shard)
+}
+
 // maybeCheckpoint writes a periodic checkpoint when one is configured and
 // the save interval has elapsed. Save errors are remembered (surfaced on the
 // final flush) but do not abort the campaign.
@@ -150,7 +162,8 @@ func (e *Engine) replayCheckpoint(cp *Checkpoint) {
 	e.findings = e.findings[:0]
 	e.findingIdx = map[string]int{}
 	for _, f := range cp.Findings {
-		e.findingIdx[f.Kind.String()+"|"+f.Site] = len(e.findings)
+		e.findingIdx[findingKey(f.Kind, f.Site)] = len(e.findings)
 		e.findings = append(e.findings, f)
 	}
+	e.updateLive()
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,6 +91,27 @@ type Options struct {
 	// Stop, when non-nil, stops Run cleanly (final checkpoint + report) as
 	// soon as the channel is closed — the SIGINT path of the CLI.
 	Stop <-chan struct{}
+
+	// OnNewCoverage, when non-nil, is invoked from the engine's goroutine
+	// whenever an input reaches branches this engine had never covered.
+	// input is the triggering test input and seen the engine's cumulative
+	// covered-branch bitmap; both are only valid for the duration of the
+	// call and must be copied if retained. The campaign layer uses this to
+	// cross-pollinate globally-new inputs between shards.
+	OnNewCoverage func(input []byte, seen []uint8)
+}
+
+// ParseMode parses a mode name as spelled on the CLI and the daemon API.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "cftcg":
+		return ModeModelOriented, nil
+	case "fuzz-only":
+		return ModeFuzzOnly, nil
+	case "no-iterdiff":
+		return ModeNoIterDiff, nil
+	}
+	return 0, fmt.Errorf("fuzz: unknown mode %q (want cftcg, fuzz-only or no-iterdiff)", s)
 }
 
 // Validate rejects option combinations the engine cannot run: negative
@@ -201,6 +223,36 @@ type Engine struct {
 	resumed         *Checkpoint
 	lastCkpt        time.Time
 	ckptErr         error
+
+	// cross-pollination inbox: inputs other shards discovered, delivered by
+	// Inject from foreign goroutines and drained by the run loop.
+	inboxMu          sync.Mutex
+	inbox            [][]byte
+	inboxFlag        atomic.Bool
+	injectedAdmitted int64
+
+	// live status mirror, safe to read from other goroutines while Run is
+	// hot (the campaign status plane).
+	liveMu sync.Mutex
+	live   LiveStats
+}
+
+// LiveStats is a point-in-time snapshot of a running engine's counters. It
+// is safe to read from any goroutine while the campaign runs — the status
+// plane of the daemon polls it — and is refreshed once per executed input.
+type LiveStats struct {
+	Execs      int64 `json:"execs"`
+	Steps      int64 `json:"steps"`
+	Corpus     int   `json:"corpus"`
+	Covered    int   `json:"covered"` // branch slots this engine has hit
+	Cases      int   `json:"cases"`
+	Violations int   `json:"violations"`
+	Findings   int   `json:"findings"` // distinct (kind, site) findings
+	// FindingsByKind counts distinct findings per FindingKind.
+	FindingsByKind [numFindingKinds]int `json:"findingsByKind"`
+	// InjectedAdmitted counts cross-pollinated inputs (delivered via Inject)
+	// that carried coverage new to this engine and entered its corpus.
+	InjectedAdmitted int64 `json:"injectedAdmitted"`
 }
 
 // floatOut is a float-typed outport slot checked for NaN/Inf after each step.
@@ -295,6 +347,80 @@ func MustEngine(c *codegen.Compiled, opts Options) *Engine {
 // flushes the final checkpoint and returns its result. Safe to call from any
 // goroutine (the CLI's signal handler).
 func (e *Engine) Stop() { e.stopFlag.Store(true) }
+
+// Inject delivers a foreign input — typically one that hit globally-new
+// coverage on another shard — into this engine's corpus pipeline. Safe to
+// call from any goroutine; the input is copied, queued, and executed by the
+// run loop like any candidate, so it only enters the corpus if it carries
+// coverage (or metric) value for *this* engine. Injections delivered after
+// Run returns are ignored.
+func (e *Engine) Inject(data []byte) {
+	cp := append([]byte(nil), data...)
+	e.inboxMu.Lock()
+	e.inbox = append(e.inbox, cp)
+	e.inboxMu.Unlock()
+	e.inboxFlag.Store(true)
+}
+
+// drainInbox executes queued cross-pollinated inputs. The fast path is one
+// relaxed atomic load, so an engine outside a campaign pays nothing.
+func (e *Engine) drainInbox() {
+	if !e.inboxFlag.Load() {
+		return
+	}
+	e.inboxMu.Lock()
+	batch := e.inbox
+	e.inbox = nil
+	e.inboxFlag.Store(false)
+	e.inboxMu.Unlock()
+	for _, d := range batch {
+		if e.tryInput(d) {
+			e.injectedAdmitted++
+		}
+	}
+}
+
+// LiveStats returns the engine's most recent status snapshot. Safe to call
+// from any goroutine.
+func (e *Engine) LiveStats() LiveStats {
+	e.liveMu.Lock()
+	defer e.liveMu.Unlock()
+	return e.live
+}
+
+// Cases returns copies of the coverage-carrying inputs emitted so far — the
+// exportable corpus of a running campaign. Safe to call from any goroutine.
+func (e *Engine) Cases() [][]byte {
+	e.liveMu.Lock()
+	defer e.liveMu.Unlock()
+	out := make([][]byte, len(e.cases))
+	for i := range e.cases {
+		out[i] = append([]byte(nil), e.cases[i].Data...)
+	}
+	return out
+}
+
+// updateLive refreshes the cross-goroutine status mirror; called once per
+// executed input (the lock is uncontended next to a model execution).
+func (e *Engine) updateLive() {
+	e.liveMu.Lock()
+	e.live = LiveStats{
+		Execs:            e.execs,
+		Steps:            e.steps,
+		Corpus:           len(e.corpus),
+		Covered:          e.coveredCount,
+		Cases:            len(e.cases),
+		Violations:       len(e.violations),
+		Findings:         len(e.findings),
+		InjectedAdmitted: e.injectedAdmitted,
+	}
+	for _, f := range e.findings {
+		if int(f.Kind) < numFindingKinds {
+			e.live.FindingsByKind[f.Kind]++
+		}
+	}
+	e.liveMu.Unlock()
+}
 
 // buildMask marks which branch slots the fuzzer's feedback can observe. In
 // model-oriented modes every probe is visible. In fuzz-only mode, only
@@ -510,6 +636,7 @@ func (e *Engine) Run() *Result {
 			stopped = true
 			break
 		}
+		e.drainInbox()
 		if e.opts.MaxExecs > 0 && e.execs >= e.opts.MaxExecs {
 			break
 		}
@@ -564,18 +691,25 @@ func (e *Engine) Run() *Result {
 // tryInput runs one candidate and applies the corpus/test-case policy: any
 // input hitting new model coverage is emitted as a test case; inputs with
 // new visible coverage or outstanding iteration-difference metric join the
-// corpus (weighted by the metric in model-oriented mode).
-func (e *Engine) tryInput(data []byte) {
+// corpus (weighted by the metric in model-oriented mode). It reports whether
+// the input was admitted to the corpus.
+func (e *Engine) tryInput(data []byte) bool {
 	metric, newMasked, newAny := e.RunInput(data)
 
 	if newAny > 0 {
-		e.cases = append(e.cases, testcase.Case{
+		tc := testcase.Case{
 			Data:        append([]byte(nil), data...),
 			Found:       time.Since(e.start),
 			Metric:      metric,
 			NewBranches: newAny,
-		})
+		}
+		e.liveMu.Lock()
+		e.cases = append(e.cases, tc)
+		e.liveMu.Unlock()
 		e.samplePoint()
+		if e.opts.OnNewCoverage != nil {
+			e.opts.OnNewCoverage(data, e.seen)
+		}
 	}
 	if e.lastViolated && (newAny > 0 || len(e.violations) < 8) {
 		e.violations = append(e.violations, testcase.Case{
@@ -615,6 +749,8 @@ func (e *Engine) tryInput(data []byte) {
 			e.evict()
 		}
 	}
+	e.updateLive()
+	return admit
 }
 
 // evict removes the lowest-weight unpinned corpus entry; coverage-finding

@@ -23,6 +23,10 @@ const (
 	// FindingNumericAnomaly is a NaN or Inf observed on a model outport —
 	// numerically poisoned state a controller downstream would ingest.
 	FindingNumericAnomaly
+
+	// numFindingKinds is the number of FindingKind values, for by-kind
+	// counters (LiveStats, the daemon's /metrics plane).
+	numFindingKinds = int(FindingNumericAnomaly) + 1
 )
 
 func (k FindingKind) String() string {
@@ -59,10 +63,44 @@ func (f Finding) String() string {
 // DroppedFindings so a pathological model cannot balloon the result.
 const maxFindings = 64
 
+// findingKey is the deduplication identity of a finding: one bug report per
+// (kind, site), shared by the engine, checkpoint restore and ensemble merge.
+func findingKey(kind FindingKind, site string) string {
+	return kind.String() + "|" + site
+}
+
+// MergeFindings folds src into dst, deduplicating by (kind, site): a site
+// already present keeps its first reproducer (and earliest discovery time)
+// and accumulates the occurrence count; new sites are appended in order.
+// Both the parallel-worker merge and the campaign layer use this so every
+// consumer agrees on what "the same bug" means.
+func MergeFindings(dst, src []Finding) []Finding {
+	if len(src) == 0 {
+		return dst
+	}
+	idx := make(map[string]int, len(dst))
+	for i, f := range dst {
+		idx[findingKey(f.Kind, f.Site)] = i
+	}
+	for _, f := range src {
+		key := findingKey(f.Kind, f.Site)
+		if i, ok := idx[key]; ok {
+			dst[i].Count += f.Count
+			if f.Found < dst[i].Found {
+				dst[i].Found = f.Found
+			}
+			continue
+		}
+		idx[key] = len(dst)
+		dst = append(dst, f)
+	}
+	return dst
+}
+
 // recordFinding dedups by (kind, site): the first input reaching a site is
 // kept as its reproducer, repeats only increment the count.
 func (e *Engine) recordFinding(kind FindingKind, input []byte, step int, site, detail string) {
-	key := kind.String() + "|" + site
+	key := findingKey(kind, site)
 	if i, ok := e.findingIdx[key]; ok {
 		e.findings[i].Count++
 		return

@@ -10,12 +10,16 @@ import (
 
 // RunParallel fuzzes one model with `workers` independent engines (distinct
 // seeds) and merges their results: the union of coverage, the concatenated
-// suites (minimized against the merged plan), the summed work counters and
-// the deduplicated findings. An in-process LibFuzzer-style engine shares
-// nothing but the immutable program, so this is plain data parallelism.
+// suites (minimized against the merged plan), the summed work counters, the
+// deduplicated findings and the merged ensemble timeline. An in-process
+// LibFuzzer-style engine shares nothing but the immutable program, so this
+// is plain data parallelism; for shards that *share discoveries while
+// running* (live cross-pollination, per-shard checkpoints), use the
+// campaign layer instead.
 //
 // Checkpointing and resume apply to worker 0 only — a single checkpoint file
 // cannot represent independent corpora, so the other workers run stateless.
+// The CLI rejects -resume with multiple workers for that reason.
 func RunParallel(c *codegen.Compiled, opts Options, workers int) (*Result, error) {
 	if workers < 1 {
 		workers = 1
@@ -46,14 +50,34 @@ func RunParallel(c *codegen.Compiled, opts Options, workers int) (*Result, error
 	}
 	wg.Wait()
 
+	recs := make([]*coverage.Recorder, workers)
+	for w, eng := range engines {
+		recs[w] = eng.Recorder()
+	}
+	out := MergeResults(c, recs, results)
+	out.Suite.Cases = Minimize(c, out.Suite.Cases)
+	return out, nil
+}
+
+// MergeResults folds per-shard campaign results into one ensemble result:
+// the union of coverage (recs[i] must be the recorder that produced
+// results[i]), concatenated suites, summed work counters, findings
+// deduplicated by (kind, site), and the merged ensemble timeline. The suite
+// is the raw concatenation — callers minimize against the merged plan if
+// they want Table-1-style suites. Both RunParallel and the campaign layer
+// merge through here so a shard ensemble reports exactly like a single
+// engine.
+func MergeResults(c *codegen.Compiled, recs []*coverage.Recorder, results []*Result) *Result {
 	merged := coverage.NewRecorder(c.Plan)
-	out := &Result{Suite: &testcase.Suite{
-		Model:  c.Prog.Name,
-		Layout: results[0].Suite.Layout,
-	}}
-	seenFindings := map[string]int{} // (kind, site) -> index in out.Findings
-	for w, r := range results {
-		merged.Merge(engines[w].Recorder())
+	out := &Result{Suite: &testcase.Suite{Model: c.Prog.Name}}
+	if len(results) > 0 {
+		out.Suite.Layout = results[0].Suite.Layout
+	}
+	timelines := make([][]Point, 0, len(results))
+	for i, r := range results {
+		if recs != nil && recs[i] != nil {
+			merged.Merge(recs[i])
+		}
 		out.Execs += r.Execs
 		out.Steps += r.Steps
 		out.Corpus += r.Corpus
@@ -64,20 +88,13 @@ func RunParallel(c *codegen.Compiled, opts Options, workers int) (*Result, error
 		if r.CheckpointErr != nil {
 			out.CheckpointErr = r.CheckpointErr
 		}
-		for _, f := range r.Findings {
-			key := f.Kind.String() + "|" + f.Site
-			if i, ok := seenFindings[key]; ok {
-				out.Findings[i].Count += f.Count
-				continue
-			}
-			seenFindings[key] = len(out.Findings)
-			out.Findings = append(out.Findings, f)
-		}
-		if w == 0 {
-			out.Timeline = r.Timeline
-		}
+		out.Findings = MergeFindings(out.Findings, r.Findings)
+		timelines = append(timelines, r.Timeline)
 	}
-	out.Suite.Cases = Minimize(c, out.Suite.Cases)
+	// Merge per-worker timelines (summed execs, max coverage at aligned
+	// elapsed instants) so Figure 7 output reflects the whole ensemble
+	// rather than worker 0 alone.
+	out.Timeline = coverage.MergeTimelines(timelines)
 	out.Report = merged.Report()
-	return out, nil
+	return out
 }

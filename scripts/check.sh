@@ -27,4 +27,45 @@ go test ./...
 echo "== go test -short -race =="
 go test -short -race ./...
 
+# Daemon smoke test: build cftcgd, bring it up on an ephemeral port, poll
+# the health and metrics planes, submit one campaign, verify a non-empty
+# status snapshot, then drain it with SIGTERM.
+echo "== cftcgd smoke =="
+tmp=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+go build -o "$tmp/cftcgd" ./cmd/cftcgd
+"$tmp/cftcgd" -addr 127.0.0.1:0 >"$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon logs its resolved listen address; extract the ephemeral port.
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's/.*listening on //p' "$tmp/daemon.log" | head -n1)
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "cftcgd never reported its address"; cat "$tmp/daemon.log"; exit 1; }
+
+curl -fsS "http://$addr/healthz" | grep -q ok || { echo "healthz failed"; exit 1; }
+curl -fsS "http://$addr/metrics" | grep -q cftcgd_uptime_seconds || { echo "metrics failed"; exit 1; }
+curl -fsS -X POST -d '{"model":"SolarPV","shards":2,"budget":"2s","seed":1}' \
+	"http://$addr/api/campaigns" | grep -q '"id": 1' || { echo "submit failed"; exit 1; }
+
+# Poll until the campaign's snapshot shows real work (it runs for 2s).
+ok=""
+for _ in $(seq 1 100); do
+	if curl -fsS "http://$addr/api/campaigns/1" | grep -q '"execs": [1-9]'; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "campaign never reported progress"; curl -fsS "http://$addr/api/campaigns/1"; exit 1; }
+curl -fsS "http://$addr/metrics" | grep -q 'cftcg_campaign_execs_total{campaign="1"' \
+	|| { echo "campaign metrics missing"; exit 1; }
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "cftcgd drain failed"; cat "$tmp/daemon.log"; exit 1; }
+grep -q drained "$tmp/daemon.log" || { echo "cftcgd did not drain"; cat "$tmp/daemon.log"; exit 1; }
+
 echo "OK"
