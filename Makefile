@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt lint check bench
 
 all: check
 
@@ -23,6 +23,12 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint is the fast pre-commit gate: formatting, vet, and a full-speed race
+# pass over the concurrency-bearing packages (the engine's status plane, the
+# campaign daemon's shard fan-out, and the shared coverage structures).
+lint: fmt vet
+	$(GO) test -race ./internal/fuzz ./internal/campaign ./internal/coverage
 
 check: fmt vet build test race
 

@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"cftcg/internal/analysis"
 	"cftcg/internal/benchmodels"
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
@@ -273,6 +274,98 @@ func BenchmarkAblationIterDiff(b *testing.B) {
 				reportCoverage(b, rep)
 			})
 		}
+	}
+}
+
+// seededDeadModel is the static-analysis acceptance model: the live logic is
+// a value window on one "needle" input, several decoy inputs feed data-only
+// paths, and a saturated comparison seeds a provably dead branch.
+func seededDeadModel() *model.Model {
+	b := model.NewBuilder("SeededDead")
+	cmd := b.Inport("cmd", model.Int32)
+	n1 := b.Inport("noise1", model.Float64)
+	n2 := b.Inport("noise2", model.Float64)
+	n3 := b.Inport("noise3", model.Int32)
+	aux := b.Inport("aux", model.Int32)
+
+	// Live branches: only cmd influences them.
+	lo := b.Rel(">", cmd, b.ConstT(model.Int32, 1000))
+	hi := b.Rel("<", cmd, b.ConstT(model.Int32, 1050))
+	b.Outport("y", model.Int32,
+		b.Switch(b.And(lo, hi), b.ConstT(model.Int32, 1), b.ConstT(model.Int32, 0)))
+
+	// Decoys: pure data paths, no branch influence.
+	b.Outport("n", model.Float64, b.Add2(n1, n2))
+	b.Outport("m", model.Int32, b.Gain(n3, 3))
+
+	// Seeded dead branch: aux saturated to [0,10] can never exceed 20. The
+	// comparison feeds both a switch (dead decision outcome) and a logic
+	// decision (dead condition polarity).
+	deadCmp := b.Rel(">", b.Saturation(aux, 0, 10), b.ConstT(model.Int32, 20))
+	b.Outport("z", model.Int32,
+		b.Switch(deadCmp, b.ConstT(model.Int32, 1), b.ConstT(model.Int32, 0)))
+	b.Outport("alarm", model.Bool,
+		b.Or(deadCmp, b.Rel("<", aux, b.ConstT(model.Int32, 0))))
+	return b.Model()
+}
+
+// TestDeadAdjustedDirectedFuzzing is the acceptance check for the static
+// analysis passes: on a model with a seeded dead branch, (a) dead marking
+// shrinks every reported denominator, and (b) the influence-directed engine
+// reaches at least the undirected engine's coverage at an identical
+// iteration budget and seed.
+func TestDeadAdjustedDirectedFuzzing(t *testing.T) {
+	plain, err := codegen.Compile(seededDeadModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked, err := codegen.Compile(seededDeadModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := analysis.MarkDead(marked.Prog, marked.Plan); n == 0 {
+		t.Fatal("analysis found no dead objectives in the seeded model")
+	}
+	before := coverage.NewRecorder(plain.Plan).Report()
+	after := coverage.NewRecorder(marked.Plan).Report()
+	if after.DecisionTotal >= before.DecisionTotal {
+		t.Errorf("decision denominator must exclude the dead outcome: %d -> %d",
+			before.DecisionTotal, after.DecisionTotal)
+	}
+	if after.CondTotal >= before.CondTotal {
+		t.Errorf("condition denominator must exclude the dead polarity: %d -> %d",
+			before.CondTotal, after.CondTotal)
+	}
+	if after.MCDCTotal >= before.MCDCTotal {
+		t.Errorf("MCDC denominator must exclude the half-dead condition: %d -> %d",
+			before.MCDCTotal, after.MCDCTotal)
+	}
+
+	run := func(directed bool) coverage.Report {
+		c, err := codegen.Compile(seededDeadModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		analysis.MarkDead(c.Prog, c.Plan)
+		res := fuzz.MustEngine(c, fuzz.Options{
+			Seed:     5,
+			MaxExecs: 8000,
+			NoHints:  true, // isolate the influence effect from the hint dictionary
+			Directed: directed,
+		}).Run()
+		return res.Report
+	}
+	undirected := run(false)
+	directed := run(true)
+	t.Logf("undirected: %s", undirected)
+	t.Logf("directed:   %s", directed)
+	if directed.Decision() < undirected.Decision() {
+		t.Errorf("directed decision coverage %.1f%% below undirected %.1f%%",
+			directed.Decision(), undirected.Decision())
+	}
+	if directed.Condition() < undirected.Condition() {
+		t.Errorf("directed condition coverage %.1f%% below undirected %.1f%%",
+			directed.Condition(), undirected.Condition())
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	cftcg emit    <model.slx>                 print generated fuzz code
 //	cftcg fuzz    <model.slx> [flags]         run fuzzing, write the suite
+//	cftcg analyze <model.slx> [-json]         static analysis: lint, dead objectives, influence
 //	cftcg cov     <model.slx> <case.bin>...   replay cases, report coverage
 //	cftcg convert <model.slx> <case.bin>      print one case as CSV
 //	cftcg trace   <model.slx> <case.bin>      dump a case as a VCD waveform
@@ -21,9 +22,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"cftcg/internal/analysis"
 	"cftcg/internal/benchmodels"
 	"cftcg/internal/core"
 	"cftcg/internal/fuzz"
@@ -58,11 +61,18 @@ func main() {
 		checkpoint := fs.String("checkpoint", "", "path for periodic crash-safe corpus checkpoints")
 		ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "interval between checkpoints")
 		resume := fs.String("resume", "", "checkpoint file to resume the campaign from")
+		analyze := fs.Bool("analyze", false, "statically prove objectives dead; exclude them from the report denominators")
+		directed := fs.Bool("directed", false, "bias mutation toward input fields that influence unsatisfied objectives")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
 
 		m, err := fuzz.ParseMode(*mode)
 		check(err)
+		if *analyze {
+			if n := analysis.MarkDead(sys.Compiled.Prog, sys.Compiled.Plan); n > 0 {
+				fmt.Printf("static analysis: %d dead objective(s) excluded from coverage denominators\n", n)
+			}
+		}
 		// A single checkpoint file cannot represent the independent corpora
 		// of multiple workers, so fuzz.RunParallel runs workers 1..N-1
 		// stateless. Resuming such an ensemble would silently restore only
@@ -82,6 +92,7 @@ func main() {
 			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
 			Fuel:           *fuel,
 			CheckpointPath: *checkpoint, CheckpointEvery: *ckptEvery, ResumeFrom: *resume,
+			Directed: *directed,
 		}
 		if *seeds != "" {
 			seedInputs, err := core.ReadSeedDir(*seeds)
@@ -145,6 +156,83 @@ func main() {
 		if *out != "" {
 			check(sys.WriteSuite(*out, res.Suite))
 			fmt.Printf("suite written to %s\n", *out)
+		}
+
+	case "analyze":
+		asJSON := len(args) > 1 && args[1] == "-json"
+		sys := loadSystem(arg(args, 0))
+		prog, plan := sys.Compiled.Prog, sys.Compiled.Plan
+		issues := analysis.Verify(prog, plan)
+		dead := analysis.DeadObjectives(prog, plan)
+		inf := analysis.ComputeInfluence(prog, plan)
+		isDead := make(map[int]bool, len(dead))
+		for _, slot := range dead {
+			isDead[slot] = true
+		}
+		fieldNames := func(idxs []int) []string {
+			var names []string
+			for _, f := range idxs {
+				if f < len(prog.In) {
+					names = append(names, prog.In[f].Name)
+				}
+			}
+			return names
+		}
+
+		if asJSON {
+			type branchRow struct {
+				Branch int      `json:"branch"`
+				Label  string   `json:"label"`
+				Dead   bool     `json:"dead"`
+				Fields []string `json:"fields,omitempty"`
+			}
+			report := struct {
+				Model    string      `json:"model"`
+				Issues   []string    `json:"issues,omitempty"`
+				Dead     []int       `json:"deadObjectives,omitempty"`
+				Branches []branchRow `json:"branches"`
+			}{Model: prog.Name, Dead: dead}
+			for _, is := range issues {
+				report.Issues = append(report.Issues, is.String())
+			}
+			for b := 0; b < plan.NumBranches; b++ {
+				report.Branches = append(report.Branches, branchRow{
+					Branch: b, Label: plan.BranchLabel(b),
+					Dead: isDead[b], Fields: fieldNames(inf.Fields(b)),
+				})
+			}
+			out, err := json.MarshalIndent(report, "", "  ")
+			check(err)
+			fmt.Println(string(out))
+			break
+		}
+
+		fmt.Printf("model %s: %d branch slots\n\n", prog.Name, plan.NumBranches)
+		if len(issues) == 0 {
+			fmt.Println("lint: clean")
+		} else {
+			fmt.Printf("lint: %d issue(s)\n%s", len(issues), analysis.FormatIssues(issues))
+		}
+		if len(dead) == 0 {
+			fmt.Println("dead objectives: none")
+		} else {
+			fmt.Printf("dead objectives: %d (excluded from adjusted denominators)\n", len(dead))
+			for _, slot := range dead {
+				fmt.Printf("  %3d  %s\n", slot, plan.BranchLabel(slot))
+			}
+		}
+		fmt.Println("\ninfluence map (branch slot <- input fields):")
+		for b := 0; b < plan.NumBranches; b++ {
+			mark := ""
+			if isDead[b] {
+				mark = " [dead]"
+			}
+			fields := fieldNames(inf.Fields(b))
+			if len(fields) == 0 {
+				fmt.Printf("  %3d  %s%s <- (none)\n", b, plan.BranchLabel(b), mark)
+				continue
+			}
+			fmt.Printf("  %3d  %s%s <- %s\n", b, plan.BranchLabel(b), mark, strings.Join(fields, ", "))
 		}
 
 	case "cov":
@@ -235,7 +323,7 @@ func arg(args []string, i int) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cftcg emit|fuzz|cov|convert|trace|info|export ... (see package doc)")
+	fmt.Fprintln(os.Stderr, "usage: cftcg emit|fuzz|analyze|cov|convert|trace|info|export ... (see package doc)")
 	os.Exit(2)
 }
 

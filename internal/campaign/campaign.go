@@ -231,6 +231,16 @@ type Snapshot struct {
 	Pollinated int64 `json:"pollinated"`
 	Received   int64 `json:"received"`
 
+	// DeadObjectives counts branch slots the static analyzer proved
+	// unreachable; they are excluded from the coverage denominators above.
+	DeadObjectives int `json:"deadObjectives"`
+	// InputFields names the model's root inports, indexing FieldHits.
+	InputFields []string `json:"inputFields,omitempty"`
+	// FieldHits counts targeted value mutations per input field summed
+	// over shards — the observable footprint of influence-directed
+	// mutation.
+	FieldHits []int64 `json:"fieldHits,omitempty"`
+
 	Running bool          `json:"running"`
 	Elapsed time.Duration `json:"elapsed"`
 }
@@ -247,6 +257,11 @@ func (cm *Campaign) Snapshot() Snapshot {
 		Findings: map[string]int{},
 		Running:  cm.running.Load(),
 	}
+	s.DeadObjectives = cm.c.Plan.DeadCount()
+	for _, f := range cm.c.Prog.In {
+		s.InputFields = append(s.InputFields, f.Name)
+	}
+	s.FieldHits = make([]int64, len(cm.c.Prog.In))
 	for i, eng := range cm.engines {
 		ls := eng.LiveStats()
 		s.Shards[i] = ShardStatus{Shard: i, LiveStats: ls}
@@ -255,6 +270,11 @@ func (cm *Campaign) Snapshot() Snapshot {
 		s.Corpus += ls.Corpus
 		s.Cases += ls.Cases
 		s.Received += ls.InjectedAdmitted
+		for f, n := range ls.FieldHits {
+			if f < len(s.FieldHits) {
+				s.FieldHits[f] += n
+			}
+		}
 		for k, n := range ls.FindingsByKind {
 			if n > 0 && k < len(findingKindNames) {
 				s.Findings[findingKindNames[k]] += n

@@ -47,6 +47,10 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE cftcg_campaign_pollinations_total counter")
 	fmt.Fprintln(w, "# HELP cftcg_campaign_shard_execs_total Fuzz-driver executions per shard.")
 	fmt.Fprintln(w, "# TYPE cftcg_campaign_shard_execs_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_dead_objectives Branch slots statically proved unreachable, excluded from coverage denominators.")
+	fmt.Fprintln(w, "# TYPE cftcg_dead_objectives gauge")
+	fmt.Fprintln(w, "# HELP cftcg_field_mutations_total Targeted value mutations per input field, summed over shards.")
+	fmt.Fprintln(w, "# TYPE cftcg_field_mutations_total counter")
 
 	for _, st := range statuses {
 		if st.Snapshot == nil {
@@ -65,6 +69,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "cftcg_campaign_pollinations_total{%s} %d\n", base, snap.Pollinated)
 		for _, sh := range snap.Shards {
 			fmt.Fprintf(w, "cftcg_campaign_shard_execs_total{%s,shard=\"%d\"} %d\n", base, sh.Shard, sh.Execs)
+		}
+		fmt.Fprintf(w, "cftcg_dead_objectives{%s} %d\n", base, snap.DeadObjectives)
+		for f, n := range snap.FieldHits {
+			name := fmt.Sprintf("f%d", f)
+			if f < len(snap.InputFields) {
+				name = snap.InputFields[f]
+			}
+			fmt.Fprintf(w, "cftcg_field_mutations_total{%s,field=%q} %d\n", base, name, n)
 		}
 	}
 }

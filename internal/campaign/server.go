@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"cftcg/internal/analysis"
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
 	"cftcg/internal/fuzz"
@@ -33,6 +34,12 @@ type Spec struct {
 	// server-side base path; Resume restores them on a later submission.
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Resume     string `json:"resume,omitempty"`
+	// Analyze runs the static dead-objective analysis before fuzzing so
+	// unreachable branch slots drop out of the coverage denominators.
+	Analyze bool `json:"analyze,omitempty"`
+	// Directed biases mutation toward input fields that influence the
+	// still-unsatisfied objectives (implies nothing in fuzz-only mode).
+	Directed bool `json:"directed,omitempty"`
 }
 
 // options translates the wire spec into engine options.
@@ -49,6 +56,7 @@ func (sp *Spec) options() (fuzz.Options, error) {
 		Fuel:           sp.Fuel,
 		CheckpointPath: sp.Checkpoint,
 		ResumeFrom:     sp.Resume,
+		Directed:       sp.Directed,
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
@@ -212,6 +220,11 @@ func (s *Server) runJob(job *Job) {
 	if err != nil {
 		fail(fmt.Errorf("resolve model: %w", err))
 		return
+	}
+	if job.Spec.Analyze {
+		// The resolver compiles per call, so marking this job's plan does
+		// not leak dead flags into other submissions of the same model.
+		analysis.MarkDead(compiled.Prog, compiled.Plan)
 	}
 	opts, err := job.Spec.options()
 	if err != nil {

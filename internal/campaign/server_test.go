@@ -77,7 +77,7 @@ func TestServerLiveStatusAndMetrics(t *testing.T) {
 	// Submit a long-budget campaign (stopped explicitly below).
 	var job JobStatus
 	code := postJSON(t, ts, "/api/campaigns",
-		Spec{Model: "Magic", Shards: 2, Budget: "1m", Seed: 3}, &job)
+		Spec{Model: "Magic", Shards: 2, Budget: "1m", Seed: 3, Analyze: true, Directed: true}, &job)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: status %d", code)
 	}
@@ -122,6 +122,8 @@ func TestServerLiveStatusAndMetrics(t *testing.T) {
 		fmt.Sprintf(`cftcg_campaign_execs_total{campaign="%d",model="Magic"}`, job.ID),
 		"cftcg_campaign_decision_coverage_percent",
 		fmt.Sprintf(`cftcg_campaign_shard_execs_total{campaign="%d",model="Magic",shard="1"}`, job.ID),
+		fmt.Sprintf(`cftcg_dead_objectives{campaign="%d",model="Magic"} 0`, job.ID),
+		fmt.Sprintf(`cftcg_field_mutations_total{campaign="%d",model="Magic",field="u"}`, job.ID),
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, metrics)

@@ -1,12 +1,18 @@
 package codegen
 
 import (
+	"cftcg/internal/analysis"
 	"cftcg/internal/blocks"
 	"cftcg/internal/coverage"
 	"cftcg/internal/ir"
 	"cftcg/internal/model"
 	"cftcg/internal/schedule"
 )
+
+// VerifyLowered, when set, makes Compile run the strict IR verifier over
+// every lowered program and fail on any error-severity issue. Tests and CI
+// set it once at startup; it is not meant to be toggled concurrently.
+var VerifyLowered bool
 
 // Compiled bundles every artifact of the fuzzing-code-generation pipeline:
 // the analyzed design, the instrumentation plan, the entity index, and the
@@ -36,6 +42,11 @@ func Compile(m *model.Model) (*Compiled, error) {
 	prog, err := Lower(d, plan, ix)
 	if err != nil {
 		return nil, err
+	}
+	if VerifyLowered {
+		if err := analysis.VerifyStrict(prog, plan); err != nil {
+			return nil, err
+		}
 	}
 	return &Compiled{Design: d, Plan: plan, Index: ix, Prog: prog}, nil
 }

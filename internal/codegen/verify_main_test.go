@@ -1,0 +1,17 @@
+package codegen
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain turns on the strict IR verifier for every compile performed by
+// this package's tests: any lowering bug that produces malformed IR —
+// undefined registers, bad jump targets, out-of-range probes, type-invariant
+// violations — fails the offending test instead of surfacing later as
+// corrupt VM state. Keeping the whole test suite verifier-clean is the
+// regression invariant behind the static analysis pass.
+func TestMain(m *testing.M) {
+	VerifyLowered = true
+	os.Exit(m.Run())
+}

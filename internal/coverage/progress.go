@@ -8,24 +8,39 @@ type Progress struct {
 	Seen []uint8
 
 	isOutcome       []bool
+	dead            []bool
 	covOut, covCond int
 	totOut, totCond int
 }
 
-// NewProgress creates a progress tracker for a plan.
+// NewProgress creates a progress tracker for a plan. Branch slots the plan
+// marks dead are excluded from both denominators and numerators.
 func NewProgress(p *Plan) *Progress {
 	pr := &Progress{
 		Seen:      make([]uint8, p.NumBranches),
 		isOutcome: make([]bool, p.NumBranches),
+		dead:      make([]bool, p.NumBranches),
+	}
+	for b := range pr.dead {
+		pr.dead[b] = p.IsDead(b)
 	}
 	for i := range p.Decisions {
 		d := &p.Decisions[i]
-		pr.totOut += d.NumOutcomes
 		for k := 0; k < d.NumOutcomes; k++ {
 			pr.isOutcome[d.OutcomeBase+k] = true
+			if !pr.dead[d.OutcomeBase+k] {
+				pr.totOut++
+			}
 		}
 	}
-	pr.totCond = 2 * len(p.Conds)
+	for i := range p.Conds {
+		c := &p.Conds[i]
+		for _, branch := range []int{c.BranchBase, c.BranchBase + 1} {
+			if !pr.dead[branch] {
+				pr.totCond++
+			}
+		}
+	}
 	return pr
 }
 
@@ -36,6 +51,11 @@ func (pr *Progress) Absorb(curr []uint8) int {
 	for b, v := range curr {
 		if v != 0 && pr.Seen[b] == 0 {
 			pr.Seen[b] = 1
+			if pr.dead[b] {
+				// Statically "impossible" yet observed: an analysis bug, but
+				// percentages must not exceed 100 — count nothing.
+				continue
+			}
 			n++
 			if pr.isOutcome[b] {
 				pr.covOut++

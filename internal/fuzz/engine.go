@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cftcg/internal/analysis"
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
 	"cftcg/internal/model"
@@ -71,6 +72,11 @@ type Options struct {
 	// constraint solver — the §6 future-work hybrid of constraint solving
 	// and fuzzing.
 	SeedInputs [][]byte
+	// Directed enables influence-directed mutation: the static analysis'
+	// input-field → branch influence map biases field-wise value mutations
+	// toward fields that can reach still-unsatisfied objectives. Ignored in
+	// fuzz-only mode (a generic fuzzer has no model knowledge).
+	Directed bool
 
 	// Fuel bounds the instructions one init/step call may execute before it
 	// is aborted and triaged as a Hang finding (0 = vm.DefaultFuel).
@@ -191,6 +197,11 @@ type Engine struct {
 	last     []uint8 // previous iteration's coverage (Algorithm 1 lastCov)
 	tupleBuf []uint64
 
+	// influence is the static input-field → branch influence map; non-nil
+	// only in directed mode, where every coverage gain triggers a bias
+	// refresh toward the remaining unsatisfied objectives.
+	influence *analysis.Influence
+
 	// incremental metric counters for cheap timeline points
 	isOutcome    []bool
 	covOutcomes  int
@@ -253,6 +264,13 @@ type LiveStats struct {
 	// InjectedAdmitted counts cross-pollinated inputs (delivered via Inject)
 	// that carried coverage new to this engine and entered its corpus.
 	InjectedAdmitted int64 `json:"injectedAdmitted"`
+	// FieldHits counts targeted value mutations per input field (indexed
+	// like Prog.In) — under directed mode this shows where the influence
+	// bias is spending mutation energy.
+	FieldHits []int64 `json:"fieldHits,omitempty"`
+	// DeadObjectives is the number of branch slots statically proved
+	// unreachable and excluded from this engine's coverage denominators.
+	DeadObjectives int `json:"deadObjectives"`
 }
 
 // floatOut is a float-typed outport slot checked for NaN/Inf after each step.
@@ -315,6 +333,10 @@ func NewEngine(c *codegen.Compiled, opts Options) (*Engine, error) {
 		e.mut.SetRanges(opts.Ranges)
 	}
 	e.buildMask()
+	if opts.Directed && opts.Mode != ModeFuzzOnly {
+		e.influence = analysis.ComputeInfluence(c.Prog, c.Plan)
+		e.refreshBias()
+	}
 	if opts.ResumeFrom != "" {
 		cp, err := LoadCheckpoint(opts.ResumeFrom)
 		switch {
@@ -413,6 +435,8 @@ func (e *Engine) updateLive() {
 		Violations:       len(e.violations),
 		Findings:         len(e.findings),
 		InjectedAdmitted: e.injectedAdmitted,
+		FieldHits:        e.mut.FieldHits(),
+		DeadObjectives:   e.c.Plan.DeadCount(),
 	}
 	for _, f := range e.findings {
 		if int(f.Kind) < numFindingKinds {
@@ -428,14 +452,15 @@ func (e *Engine) updateLive() {
 // decisions (If, SwitchCase, script ifs, chart transitions, subsystem
 // enables). Boolean operators, data switches, min/max and saturations
 // compile branchlessly, and condition probes do not exist at the code level
-// — the paper's Figure 8 analysis.
+// — the paper's Figure 8 analysis. Slots the static analysis proved dead
+// (Plan.Dead) are invisible to feedback and excluded from the timeline
+// denominators, matching the dead-adjusted Report.
 func (e *Engine) buildMask() {
 	p := e.c.Plan
 	e.mask = make([]bool, p.NumBranches)
 	e.isOutcome = make([]bool, p.NumBranches)
 	for i := range p.Decisions {
 		d := &p.Decisions[i]
-		e.totOutcomes += d.NumOutcomes
 		visible := true
 		if e.opts.Mode == ModeFuzzOnly {
 			switch d.Kind {
@@ -447,16 +472,25 @@ func (e *Engine) buildMask() {
 			}
 		}
 		for k := 0; k < d.NumOutcomes; k++ {
-			e.mask[d.OutcomeBase+k] = visible
-			e.isOutcome[d.OutcomeBase+k] = true
+			b := d.OutcomeBase + k
+			e.isOutcome[b] = true
+			if p.IsDead(b) {
+				continue
+			}
+			e.totOutcomes++
+			e.mask[b] = visible
 		}
 	}
-	e.totConds = 2 * len(p.Conds)
 	for i := range p.Conds {
 		c := &p.Conds[i]
 		visible := e.opts.Mode != ModeFuzzOnly
-		e.mask[c.BranchBase] = visible
-		e.mask[c.BranchBase+1] = visible
+		for _, b := range []int{c.BranchBase, c.BranchBase + 1} {
+			if p.IsDead(b) {
+				continue
+			}
+			e.totConds++
+			e.mask[b] = visible
+		}
 	}
 	for i := range p.Decisions {
 		d := &p.Decisions[i]
@@ -570,12 +604,31 @@ func (e *Engine) noteNewBranch(b int, newMasked, newAny *int) {
 	if e.mask[b] {
 		*newMasked++
 	}
+	if e.c.Plan.IsDead(b) {
+		// A concretely-reached "dead" slot means the analysis was unsound;
+		// keep it out of the incremental counters so the timeline never
+		// exceeds its dead-adjusted denominators.
+		return
+	}
 	e.coveredCount++
 	if e.isOutcome[b] {
 		e.covOutcomes++
 	} else {
 		e.covConds++
 	}
+}
+
+// refreshBias recomputes the mutator's field weights toward the objectives
+// still unsatisfied (and not statically dead). Called at engine start and
+// after every input that reaches new coverage.
+func (e *Engine) refreshBias() {
+	if e.influence == nil {
+		return
+	}
+	p := e.c.Plan
+	e.mut.SetFieldBias(e.influence.Weights(func(b int) bool {
+		return e.seen[b] == 0 && !p.IsDead(b)
+	}))
 }
 
 // Run executes the fuzzing campaign. It survives hanging, panicking and
@@ -707,6 +760,7 @@ func (e *Engine) tryInput(data []byte) bool {
 		e.cases = append(e.cases, tc)
 		e.liveMu.Unlock()
 		e.samplePoint()
+		e.refreshBias()
 		if e.opts.OnNewCoverage != nil {
 			e.opts.OnNewCoverage(data, e.seen)
 		}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"cftcg/internal/analysis"
 	"cftcg/internal/benchmodels"
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
@@ -59,6 +60,14 @@ type Config struct {
 	FuzzMaxTuples int
 	// FuzzFuel bounds instructions per model step (0 = vm.DefaultFuel).
 	FuzzFuel int64
+
+	// Analyze runs the static dead-objective analysis on each compiled
+	// model, so branch slots proved unreachable drop out of every tool's
+	// coverage denominators (Table 3 then reports achievable objectives).
+	Analyze bool
+	// Directed biases CFTCG/Hybrid mutation toward input fields that the
+	// influence map links to still-unsatisfied objectives.
+	Directed bool
 
 	// CellTimeout is the hard deadline for one tool×model×seed cell. A cell
 	// that exceeds it (or panics) is rendered as degraded in Table 3 instead
@@ -119,8 +128,12 @@ type ToolResult struct {
 type ModelResult struct {
 	Entry    benchmodels.Entry
 	Branches int
-	Blocks   int
-	Results  map[Tool]ToolResult
+	// Dead counts branch slots the static analyzer proved unreachable
+	// (only populated when Config.Analyze is set); every tool's coverage
+	// percentages then exclude them.
+	Dead    int
+	Blocks  int
+	Results map[Tool]ToolResult
 }
 
 // RunTool executes one tool on one compiled model with one seed.
@@ -166,6 +179,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 			MaxTuples: cfg.FuzzMaxTuples,
 			Budget:    cfg.Budget,
 			Fuel:      cfg.FuzzFuel,
+			Directed:  cfg.Directed,
 		})
 		if err != nil {
 			return ToolResult{}, err
@@ -196,6 +210,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 			Budget:     cfg.Budget - cfg.Budget/4,
 			Fuel:       cfg.FuzzFuel,
 			SeedInputs: seedInputs,
+			Directed:   cfg.Directed,
 		})
 		if err != nil {
 			return ToolResult{}, err
@@ -258,9 +273,13 @@ func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error
 	if err != nil {
 		return ModelResult{}, fmt.Errorf("harness: %s: %w", e.Name, err)
 	}
+	if cfg.Analyze {
+		analysis.MarkDead(c.Prog, c.Plan)
+	}
 	mr := ModelResult{
 		Entry:    e,
 		Branches: c.Plan.NumBranches,
+		Dead:     c.Plan.DeadCount(),
 		Blocks:   m.Root.CountBlocks(),
 		Results:  map[Tool]ToolResult{},
 	}

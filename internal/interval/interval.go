@@ -1,0 +1,273 @@
+// Package interval is the shared abstract numeric domain of the static
+// layers: closed real intervals with three-valued truth, used by the SLDV
+// constraint-solving baseline (box subdivision) and by the static analyzer
+// (dead-objective proof via abstract interpretation). Every supported
+// signal value is exactly representable in float64, so [Lo, Hi] bounds are
+// exact for integers and conservative for floats.
+package interval
+
+import (
+	"math"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// Interval is a closed interval over the reals.
+type Interval struct{ Lo, Hi float64 }
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{v, v} }
+
+// Span returns [lo, hi].
+func Span(lo, hi float64) Interval { return Interval{lo, hi} }
+
+// IsPoint reports whether the interval holds exactly one value.
+func (a Interval) IsPoint() bool { return a.Lo == a.Hi }
+
+// Width returns Hi - Lo.
+func (a Interval) Width() float64 { return a.Hi - a.Lo }
+
+// Mid returns the midpoint.
+func (a Interval) Mid() float64 { return a.Lo + (a.Hi-a.Lo)/2 }
+
+// Contains0 reports whether 0 lies in the interval.
+func (a Interval) Contains0() bool { return a.Lo <= 0 && a.Hi >= 0 }
+
+// Hull returns the smallest interval containing both operands.
+func (a Interval) Hull(b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// TypeRange returns the full value range of a data type (floats bounded to
+// the solver's working range — SLDV likewise solves over bounded reals).
+func TypeRange(dt model.DType) Interval {
+	if dt.IsFloat() {
+		return Span(-1e9, 1e9)
+	}
+	return Span(float64(dt.MinInt()), float64(dt.MaxInt()))
+}
+
+// Tri is three-valued truth for abstract branch conditions.
+type Tri uint8
+
+// The three truth values.
+const (
+	TriFalse Tri = iota
+	TriTrue
+	TriMixed
+)
+
+// TriOf builds a Tri from reachability of each concrete truth value.
+func TriOf(canFalse, canTrue bool) Tri {
+	switch {
+	case canTrue && canFalse:
+		return TriMixed
+	case canTrue:
+		return TriTrue
+	default:
+		return TriFalse
+	}
+}
+
+// CanTrue reports whether the condition can evaluate true.
+func (t Tri) CanTrue() bool { return t == TriTrue || t == TriMixed }
+
+// CanFalse reports whether the condition can evaluate false.
+func (t Tri) CanFalse() bool { return t == TriFalse || t == TriMixed }
+
+// Truth interprets an interval as a logical condition.
+func (a Interval) Truth() Tri {
+	canTrue := a.Lo != 0 || a.Hi != 0
+	canFalse := a.Contains0()
+	return TriOf(canFalse, canTrue)
+}
+
+// Add returns the interval sum.
+func Add(a, b Interval) Interval { return Interval{a.Lo + b.Lo, a.Hi + b.Hi} }
+
+// Sub returns the interval difference.
+func Sub(a, b Interval) Interval { return Interval{a.Lo - b.Hi, a.Hi - b.Lo} }
+
+// Mul returns the interval product.
+func Mul(a, b Interval) Interval {
+	p1, p2, p3, p4 := a.Lo*b.Lo, a.Lo*b.Hi, a.Hi*b.Lo, a.Hi*b.Hi
+	return Interval{min4(p1, p2, p3, p4), max4(p1, p2, p3, p4)}
+}
+
+// Div is conservative: a divisor interval containing zero yields the hull of
+// the quotient extremes and the total-definition value 0.
+func Div(a, b Interval) Interval {
+	if b.Contains0() {
+		if b.IsPoint() { // exactly zero: total definition x/0 = 0
+			return Point(0)
+		}
+		// Mixed-sign divisor: quotient can be arbitrarily large.
+		return Span(math.Inf(-1), math.Inf(1))
+	}
+	p1, p2, p3, p4 := a.Lo/b.Lo, a.Lo/b.Hi, a.Hi/b.Lo, a.Hi/b.Hi
+	return Interval{min4(p1, p2, p3, p4), max4(p1, p2, p3, p4)}
+}
+
+// Min returns the elementwise minimum interval.
+func Min(a, b Interval) Interval {
+	return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+// Max returns the elementwise maximum interval.
+func Max(a, b Interval) Interval {
+	return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// Neg returns the negated interval.
+func Neg(a Interval) Interval { return Interval{-a.Hi, -a.Lo} }
+
+// Abs returns the absolute-value interval.
+func Abs(a Interval) Interval {
+	if a.Lo >= 0 {
+		return a
+	}
+	if a.Hi <= 0 {
+		return Interval{-a.Hi, -a.Lo}
+	}
+	return Interval{0, math.Max(-a.Lo, a.Hi)}
+}
+
+// Cmp evaluates a relational op over intervals three-valued.
+func Cmp(op ir.Op, a, b Interval) Tri {
+	switch op {
+	case ir.OpLt:
+		return TriOf(a.Hi >= b.Lo, a.Lo < b.Hi) // canFalse: exists x>=y; canTrue: exists x<y
+	case ir.OpLe:
+		return TriOf(a.Hi > b.Lo, a.Lo <= b.Hi)
+	case ir.OpGt:
+		return TriOf(a.Lo <= b.Hi, a.Hi > b.Lo)
+	case ir.OpGe:
+		return TriOf(a.Lo < b.Hi, a.Hi >= b.Lo)
+	case ir.OpEq:
+		if a.IsPoint() && b.IsPoint() {
+			return TriOf(a.Lo != b.Lo, a.Lo == b.Lo)
+		}
+		overlap := a.Hi >= b.Lo && b.Hi >= a.Lo
+		return TriOf(!(a.IsPoint() && b.IsPoint() && a.Lo == b.Lo), overlap)
+	case ir.OpNe:
+		t := Cmp(ir.OpEq, a, b)
+		switch t {
+		case TriTrue:
+			return TriFalse
+		case TriFalse:
+			return TriTrue
+		}
+		return TriMixed
+	}
+	return TriMixed
+}
+
+// TriToItv embeds a three-valued bool into an interval register.
+func TriToItv(t Tri) Interval {
+	switch t {
+	case TriTrue:
+		return Point(1)
+	case TriFalse:
+		return Point(0)
+	}
+	return Span(0, 1)
+}
+
+// Cast converts an interval between types: clamping semantics for
+// float->int is conservative; integer narrowing that can wrap widens to the
+// full target range (sound for two's-complement wrap).
+func Cast(to, from model.DType, a Interval) Interval {
+	if to.IsFloat() {
+		return a
+	}
+	lo := math.Trunc(a.Lo)
+	hi := math.Trunc(a.Hi)
+	if from.IsFloat() {
+		// Encode clamps to the target bounds.
+		r := TypeRange(to)
+		return Interval{clamp(lo, r), clamp(hi, r)}
+	}
+	r := TypeRange(to)
+	if lo < r.Lo || hi > r.Hi {
+		return r // may wrap: widen
+	}
+	return Interval{lo, hi}
+}
+
+func clamp(v float64, r Interval) float64 {
+	if v < r.Lo {
+		return r.Lo
+	}
+	if v > r.Hi {
+		return r.Hi
+	}
+	return v
+}
+
+// WrapArith re-bounds an integer arithmetic result: overflow widens to the
+// full type range (wrap is sound but imprecise).
+func WrapArith(dt model.DType, a Interval) Interval {
+	if dt.IsFloat() {
+		return a
+	}
+	r := TypeRange(dt)
+	if a.Lo < r.Lo || a.Hi > r.Hi {
+		return r
+	}
+	return Interval{math.Trunc(a.Lo), math.Trunc(a.Hi)}
+}
+
+// MathFn evaluates the unary math functions over intervals (monotone
+// functions exactly; trigonometric functions conservatively as [-1, 1]).
+func MathFn(op ir.Op, a Interval) Interval {
+	switch op {
+	case ir.OpSqrt:
+		lo, hi := a.Lo, a.Hi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi < 0 {
+			hi = 0
+		}
+		return Interval{math.Sqrt(lo), math.Sqrt(hi)}
+	case ir.OpExp:
+		return Interval{math.Exp(a.Lo), math.Exp(a.Hi)}
+	case ir.OpLog:
+		// log is defined as 0 for non-positive inputs.
+		if a.Hi <= 0 {
+			return Point(0)
+		}
+		hi := math.Log(a.Hi)
+		if a.Lo <= 0 {
+			// Domain touches (0, eps]: log unbounded below; 0 included.
+			return Interval{math.Inf(-1), math.Max(hi, 0)}
+		}
+		return Interval{math.Log(a.Lo), hi}
+	case ir.OpSin, ir.OpCos:
+		if a.IsPoint() {
+			if op == ir.OpSin {
+				return Point(math.Sin(a.Lo))
+			}
+			return Point(math.Cos(a.Lo))
+		}
+		return Span(-1, 1)
+	case ir.OpTan:
+		if a.IsPoint() {
+			return Point(math.Tan(a.Lo))
+		}
+		return Span(math.Inf(-1), math.Inf(1))
+	case ir.OpFloor:
+		return Interval{math.Floor(a.Lo), math.Floor(a.Hi)}
+	case ir.OpCeil:
+		return Interval{math.Ceil(a.Lo), math.Ceil(a.Hi)}
+	case ir.OpRound:
+		return Interval{math.Round(a.Lo), math.Round(a.Hi)}
+	case ir.OpTrunc:
+		return Interval{math.Trunc(a.Lo), math.Trunc(a.Hi)}
+	}
+	return a
+}
+
+func min4(a, b, c, d float64) float64 { return math.Min(math.Min(a, b), math.Min(c, d)) }
+func max4(a, b, c, d float64) float64 { return math.Max(math.Max(a, b), math.Max(c, d)) }

@@ -1,4 +1,4 @@
-package sldv
+package interval
 
 import (
 	"math"
@@ -15,27 +15,27 @@ import (
 func TestIntervalArithmeticSoundness(t *testing.T) {
 	ops := []struct {
 		name string
-		abs  func(a, b itv) itv
+		abs  func(a, b Interval) Interval
 		con  func(x, y float64) float64
 	}{
-		{"add", add, func(x, y float64) float64 { return x + y }},
-		{"sub", sub, func(x, y float64) float64 { return x - y }},
-		{"mul", mul, func(x, y float64) float64 { return x * y }},
-		{"div", div, func(x, y float64) float64 {
+		{"add", Add, func(x, y float64) float64 { return x + y }},
+		{"sub", Sub, func(x, y float64) float64 { return x - y }},
+		{"mul", Mul, func(x, y float64) float64 { return x * y }},
+		{"div", Div, func(x, y float64) float64 {
 			if y == 0 {
 				return 0
 			}
 			return x / y
 		}},
-		{"min", minI, math.Min},
-		{"max", maxI, math.Max},
+		{"min", Min, math.Min},
+		{"max", Max, math.Max},
 	}
 	rng := rand.New(rand.NewSource(2))
-	mk := func() (itv, float64) {
+	mk := func() (Interval, float64) {
 		a := rng.NormFloat64() * 100
 		b := a + rng.Float64()*100
 		x := a + rng.Float64()*(b-a)
-		return itv{a, b}, x
+		return Interval{a, b}, x
 	}
 	for _, op := range ops {
 		for trial := 0; trial < 2000; trial++ {
@@ -43,9 +43,9 @@ func TestIntervalArithmeticSoundness(t *testing.T) {
 			ib, y := mk()
 			res := op.abs(ia, ib)
 			v := op.con(x, y)
-			if v < res.lo-1e-9 || v > res.hi+1e-9 {
+			if v < res.Lo-1e-9 || v > res.Hi+1e-9 {
 				t.Fatalf("%s unsound: %v op %v = [%v,%v] but %v op %v = %v",
-					op.name, ia, ib, res.lo, res.hi, x, y, v)
+					op.name, ia, ib, res.Lo, res.Hi, x, y, v)
 			}
 		}
 	}
@@ -71,21 +71,21 @@ func TestCompareSoundness(t *testing.T) {
 		hi1 := lo1 + float64(rng.Intn(5))
 		lo2 := float64(rng.Intn(21) - 10)
 		hi2 := lo2 + float64(rng.Intn(5))
-		ia, ib := itv{lo1, hi1}, itv{lo2, hi2}
+		ia, ib := Interval{lo1, hi1}, Interval{lo2, hi2}
 		for _, rel := range relOps {
-			verdict := cmp(rel.op, ia, ib)
-			if verdict == triMixed {
+			verdict := Cmp(rel.op, ia, ib)
+			if verdict == TriMixed {
 				continue
 			}
 			// Sample concrete integer points.
 			for x := lo1; x <= hi1; x++ {
 				for y := lo2; y <= hi2; y++ {
 					got := rel.ref(x, y)
-					if verdict == triTrue && !got {
+					if verdict == TriTrue && !got {
 						t.Fatalf("%v: [%v,%v] vs [%v,%v] claimed always-true but %v,%v is false",
 							rel.op, lo1, hi1, lo2, hi2, x, y)
 					}
-					if verdict == triFalse && got {
+					if verdict == TriFalse && got {
 						t.Fatalf("%v: [%v,%v] vs [%v,%v] claimed always-false but %v,%v is true",
 							rel.op, lo1, hi1, lo2, hi2, x, y)
 					}
@@ -100,13 +100,13 @@ func TestAbsNegSoundness(t *testing.T) {
 		lo := math.Mod(a, 1000)
 		width := math.Abs(math.Mod(w, 100))
 		x := lo + math.Abs(math.Mod(frac, 1))*width
-		ia := itv{lo, lo + width}
-		r1 := absI(ia)
-		if v := math.Abs(x); v < r1.lo-1e-9 || v > r1.hi+1e-9 {
+		ia := Interval{lo, lo + width}
+		r1 := Abs(ia)
+		if v := math.Abs(x); v < r1.Lo-1e-9 || v > r1.Hi+1e-9 {
 			return false
 		}
-		r2 := negI(ia)
-		if v := -x; v < r2.lo-1e-9 || v > r2.hi+1e-9 {
+		r2 := Neg(ia)
+		if v := -x; v < r2.Lo-1e-9 || v > r2.Hi+1e-9 {
 			return false
 		}
 		return true
@@ -117,66 +117,60 @@ func TestAbsNegSoundness(t *testing.T) {
 }
 
 func TestTruthTri(t *testing.T) {
-	if point(0).truth() != triFalse {
+	if Point(0).Truth() != TriFalse {
 		t.Error("point 0 must be definitely false")
 	}
-	if point(3).truth() != triTrue {
+	if Point(3).Truth() != TriTrue {
 		t.Error("point 3 must be definitely true")
 	}
-	if span(-1, 1).truth() != triMixed {
+	if Span(-1, 1).Truth() != TriMixed {
 		t.Error("interval through 0 must be mixed")
 	}
-	if span(1, 5).truth() != triTrue {
+	if Span(1, 5).Truth() != TriTrue {
 		t.Error("positive interval must be true")
+	}
+	if !TriMixed.CanTrue() || !TriMixed.CanFalse() {
+		t.Error("mixed must admit both truth values")
+	}
+	if TriTrue.CanFalse() || TriFalse.CanTrue() {
+		t.Error("definite verdicts must exclude the opposite value")
 	}
 }
 
 func TestCastWidensOnOverflow(t *testing.T) {
 	// int32 value range cast to int8: wraps, so must widen to full range.
-	r := castI(model.Int8, model.Int32, span(0, 1000))
-	full := typeRange(model.Int8)
-	if r.lo != full.lo || r.hi != full.hi {
-		t.Errorf("overflowing cast must widen: got [%v,%v]", r.lo, r.hi)
+	r := Cast(model.Int8, model.Int32, Span(0, 1000))
+	full := TypeRange(model.Int8)
+	if r.Lo != full.Lo || r.Hi != full.Hi {
+		t.Errorf("overflowing cast must widen: got [%v,%v]", r.Lo, r.Hi)
 	}
 	// In-range cast stays tight.
-	r = castI(model.Int8, model.Int32, span(-5, 5))
-	if r.lo != -5 || r.hi != 5 {
-		t.Errorf("in-range cast must stay tight: [%v,%v]", r.lo, r.hi)
+	r = Cast(model.Int8, model.Int32, Span(-5, 5))
+	if r.Lo != -5 || r.Hi != 5 {
+		t.Errorf("in-range cast must stay tight: [%v,%v]", r.Lo, r.Hi)
 	}
 	// float -> int clamps.
-	r = castI(model.UInt8, model.Float64, span(-10, 300))
-	if r.lo != 0 || r.hi != 255 {
-		t.Errorf("float->int clamp: [%v,%v]", r.lo, r.hi)
+	r = Cast(model.UInt8, model.Float64, Span(-10, 300))
+	if r.Lo != 0 || r.Hi != 255 {
+		t.Errorf("float->int clamp: [%v,%v]", r.Lo, r.Hi)
 	}
 }
 
 func TestMathFnMonotone(t *testing.T) {
-	r := mathFn(ir.OpSqrt, span(4, 9))
-	if r.lo != 2 || r.hi != 3 {
-		t.Errorf("sqrt interval: [%v,%v]", r.lo, r.hi)
+	r := MathFn(ir.OpSqrt, Span(4, 9))
+	if r.Lo != 2 || r.Hi != 3 {
+		t.Errorf("sqrt interval: [%v,%v]", r.Lo, r.Hi)
 	}
-	r = mathFn(ir.OpSqrt, span(-4, 9))
-	if r.lo != 0 || r.hi != 3 {
-		t.Errorf("sqrt with negative domain: [%v,%v]", r.lo, r.hi)
+	r = MathFn(ir.OpSqrt, Span(-4, 9))
+	if r.Lo != 0 || r.Hi != 3 {
+		t.Errorf("sqrt with negative domain: [%v,%v]", r.Lo, r.Hi)
 	}
-	r = mathFn(ir.OpSin, span(0, 10))
-	if r.lo != -1 || r.hi != 1 {
-		t.Errorf("sin wide interval: [%v,%v]", r.lo, r.hi)
+	r = MathFn(ir.OpSin, Span(0, 10))
+	if r.Lo != -1 || r.Hi != 1 {
+		t.Errorf("sin wide interval: [%v,%v]", r.Lo, r.Hi)
 	}
-	r = mathFn(ir.OpFloor, span(1.5, 2.7))
-	if r.lo != 1 || r.hi != 2 {
-		t.Errorf("floor: [%v,%v]", r.lo, r.hi)
-	}
-}
-
-func TestMathFloorNegative(t *testing.T) {
-	if mathFloor(-0.5) != -1 {
-		t.Error("mathFloor(-0.5) must be -1")
-	}
-	if mathFloor(2.9) != 2 {
-		t.Error("mathFloor(2.9) must be 2")
-	}
-	if mathFloor(-3) != -3 {
-		t.Error("mathFloor(-3) must be -3")
+	r = MathFn(ir.OpFloor, Span(1.5, 2.7))
+	if r.Lo != 1 || r.Hi != 2 {
+		t.Errorf("floor: [%v,%v]", r.Lo, r.Hi)
 	}
 }

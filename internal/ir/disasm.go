@@ -1,0 +1,321 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cftcg/internal/model"
+)
+
+// Disasm renders a function body as assembly text. Every operand an opcode
+// uses is printed — register indexes, slot indexes, probe IDs, jump targets
+// and both data types of a conversion — so the text parses back to the exact
+// instruction sequence with ParseDisasm.
+func Disasm(instrs []Instr) string {
+	var w strings.Builder
+	for pc, in := range instrs {
+		fmt.Fprintf(&w, "%4d  %-9s", pc, in.Op.String())
+		switch in.Op {
+		case OpConst:
+			fmt.Fprintf(&w, " r%d = %#x (%s %g)", in.Dst, in.Imm, in.DT, model.Decode(in.DT, in.Imm))
+		case OpLoadIn:
+			fmt.Fprintf(&w, " r%d = in[%d] (%s)", in.Dst, in.Imm, in.DT)
+		case OpLoadState:
+			fmt.Fprintf(&w, " r%d = state[%d] (%s)", in.Dst, in.Imm, in.DT)
+		case OpStoreOut:
+			fmt.Fprintf(&w, " out[%d] = r%d", in.Imm, in.A)
+		case OpStoreState:
+			fmt.Fprintf(&w, " state[%d] = r%d", in.Imm, in.A)
+		case OpJmp:
+			fmt.Fprintf(&w, " -> %d", in.Imm)
+		case OpJmpIf, OpJmpIfNot:
+			fmt.Fprintf(&w, " r%d -> %d", in.A, in.Imm)
+		case OpProbe:
+			fmt.Fprintf(&w, " dec=%d outcome=%d", in.A, in.B)
+		case OpCondProbe:
+			fmt.Fprintf(&w, " cond=%d r%d", in.A, in.B)
+		case OpSelect:
+			fmt.Fprintf(&w, " r%d = r%d ? r%d : r%d (%s)", in.Dst, in.A, in.B, in.C, in.DT)
+		case OpCast, OpTruth:
+			fmt.Fprintf(&w, " r%d = %s(r%d as %s)", in.Dst, in.DT, in.A, in.DT2)
+		case OpHalt, OpNop:
+		case OpMov, OpNeg, OpAbs, OpNot,
+			OpSqrt, OpExp, OpLog, OpSin, OpCos, OpTan,
+			OpFloor, OpCeil, OpRound, OpTrunc:
+			fmt.Fprintf(&w, " r%d = r%d (%s)", in.Dst, in.A, in.DT)
+		default: // binary arithmetic, comparison, logic, bit ops
+			fmt.Fprintf(&w, " r%d = r%d, r%d (%s)", in.Dst, in.A, in.B, in.DT)
+		}
+		w.WriteByte('\n')
+	}
+	return w.String()
+}
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// ParseDisasm is the inverse of Disasm: it parses the rendered text back
+// into the instruction sequence. Leading addresses are ignored (instructions
+// are renumbered by position), so snippets can be hand-edited. Unused
+// operand fields come back as zero, exactly as the assembler leaves them.
+func ParseDisasm(text string) ([]Instr, error) {
+	var out []Instr
+	for ln, line := range strings.Split(text, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		// Leading "<pc>" is optional.
+		if _, err := strconv.Atoi(f[0]); err == nil {
+			f = f[1:]
+			if len(f) == 0 {
+				return nil, fmt.Errorf("ir: line %d: address without opcode", ln+1)
+			}
+		}
+		op, ok := opByName[f[0]]
+		if !ok {
+			return nil, fmt.Errorf("ir: line %d: unknown opcode %q", ln+1, f[0])
+		}
+		in, err := parseOperands(op, f[1:])
+		if err != nil {
+			return nil, fmt.Errorf("ir: line %d: %s: %v", ln+1, f[0], err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+func parseReg(tok string) (int32, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("want register, got %q", tok)
+	}
+	n, err := strconv.ParseInt(tok[1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return int32(n), nil
+}
+
+func parseDT(tok string) (model.DType, error) {
+	return model.ParseDType(strings.Trim(tok, "()"))
+}
+
+// parseIndexed splits "in[3]" into its keyword and index.
+func parseIndexed(tok, kw string) (uint64, error) {
+	rest, ok := strings.CutPrefix(tok, kw+"[")
+	if !ok || !strings.HasSuffix(rest, "]") {
+		return 0, fmt.Errorf("want %s[N], got %q", kw, tok)
+	}
+	return strconv.ParseUint(strings.TrimSuffix(rest, "]"), 10, 64)
+}
+
+func parseKeyed(tok, key string) (int64, error) {
+	rest, ok := strings.CutPrefix(tok, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("want %s=N, got %q", key, tok)
+	}
+	return strconv.ParseInt(rest, 10, 32)
+}
+
+func parseOperands(op Op, f []string) (Instr, error) {
+	in := Instr{Op: op}
+	need := func(n int) error {
+		if len(f) < n {
+			return fmt.Errorf("want %d operand tokens, got %d", n, len(f))
+		}
+		return nil
+	}
+	var err error
+	fail := func(e error) (Instr, error) { return Instr{}, e }
+
+	switch op {
+	case OpHalt, OpNop:
+		return in, nil
+
+	case OpConst: // r1 = 0x2a (int8 42)
+		if err = need(4); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = strconv.ParseUint(f[2], 0, 64); err != nil {
+			return fail(fmt.Errorf("bad immediate %q", f[2]))
+		}
+		if in.DT, err = parseDT(f[3]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpLoadIn, OpLoadState: // r1 = in[0] (int32)
+		if err = need(4); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		kw := "in"
+		if op == OpLoadState {
+			kw = "state"
+		}
+		if in.Imm, err = parseIndexed(f[2], kw); err != nil {
+			return fail(err)
+		}
+		if in.DT, err = parseDT(f[3]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpStoreOut, OpStoreState: // out[0] = r1
+		if err = need(3); err != nil {
+			return fail(err)
+		}
+		kw := "out"
+		if op == OpStoreState {
+			kw = "state"
+		}
+		if in.Imm, err = parseIndexed(f[0], kw); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(f[2]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpJmp: // -> 5
+		if err = need(2); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = strconv.ParseUint(f[1], 10, 64); err != nil {
+			return fail(fmt.Errorf("bad jump target %q", f[1]))
+		}
+		return in, nil
+
+	case OpJmpIf, OpJmpIfNot: // r0 -> 5
+		if err = need(3); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		if in.Imm, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+			return fail(fmt.Errorf("bad jump target %q", f[2]))
+		}
+		return in, nil
+
+	case OpProbe: // dec=1 outcome=0
+		if err = need(2); err != nil {
+			return fail(err)
+		}
+		d, err := parseKeyed(f[0], "dec")
+		if err != nil {
+			return fail(err)
+		}
+		o, err := parseKeyed(f[1], "outcome")
+		if err != nil {
+			return fail(err)
+		}
+		in.A, in.B = int32(d), int32(o)
+		return in, nil
+
+	case OpCondProbe: // cond=2 r5
+		if err = need(2); err != nil {
+			return fail(err)
+		}
+		c, err := parseKeyed(f[0], "cond")
+		if err != nil {
+			return fail(err)
+		}
+		in.A = int32(c)
+		if in.B, err = parseReg(f[1]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpSelect: // r3 = r0 ? r1 : r2 (int32)
+		if err = need(8); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(f[2]); err != nil {
+			return fail(err)
+		}
+		if in.B, err = parseReg(f[4]); err != nil {
+			return fail(err)
+		}
+		if in.C, err = parseReg(f[6]); err != nil {
+			return fail(err)
+		}
+		if in.DT, err = parseDT(f[7]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpCast, OpTruth: // r1 = double(r0 as int32)
+		if err = need(5); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		dt, src, ok := strings.Cut(f[2], "(")
+		if !ok {
+			return fail(fmt.Errorf("want dt(reg, got %q", f[2]))
+		}
+		if in.DT, err = model.ParseDType(dt); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(src); err != nil {
+			return fail(err)
+		}
+		if in.DT2, err = parseDT(f[4]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	case OpMov, OpNeg, OpAbs, OpNot,
+		OpSqrt, OpExp, OpLog, OpSin, OpCos, OpTan,
+		OpFloor, OpCeil, OpRound, OpTrunc: // r1 = r0 (int32)
+		if err = need(4); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(f[2]); err != nil {
+			return fail(err)
+		}
+		if in.DT, err = parseDT(f[3]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+
+	default: // binary: r2 = r0, r1 (int32)
+		if err = need(5); err != nil {
+			return fail(err)
+		}
+		if in.Dst, err = parseReg(f[0]); err != nil {
+			return fail(err)
+		}
+		if in.A, err = parseReg(strings.TrimSuffix(f[2], ",")); err != nil {
+			return fail(err)
+		}
+		if in.B, err = parseReg(f[3]); err != nil {
+			return fail(err)
+		}
+		if in.DT, err = parseDT(f[4]); err != nil {
+			return fail(err)
+		}
+		return in, nil
+	}
+}

@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/model"
+)
+
+// everyOpcode builds one instruction per opcode, with distinct operand
+// values in every field the opcode uses.
+func everyOpcode() []Instr {
+	i32, f64, b := model.Int32, model.Float64, model.Bool
+	ins := []Instr{
+		{Op: OpNop},
+		{Op: OpConst, DT: i32, Dst: 1, Imm: model.EncodeInt(i32, -7)},
+		{Op: OpMov, DT: i32, Dst: 2, A: 1},
+		{Op: OpAdd, DT: i32, Dst: 3, A: 1, B: 2},
+		{Op: OpSub, DT: i32, Dst: 4, A: 3, B: 1},
+		{Op: OpMul, DT: i32, Dst: 5, A: 4, B: 2},
+		{Op: OpDiv, DT: i32, Dst: 6, A: 5, B: 3},
+		{Op: OpNeg, DT: i32, Dst: 7, A: 6},
+		{Op: OpAbs, DT: i32, Dst: 8, A: 7},
+		{Op: OpMin, DT: i32, Dst: 9, A: 8, B: 1},
+		{Op: OpMax, DT: i32, Dst: 10, A: 9, B: 2},
+		{Op: OpEq, DT: i32, Dst: 11, A: 1, B: 2},
+		{Op: OpNe, DT: i32, Dst: 12, A: 1, B: 2},
+		{Op: OpLt, DT: i32, Dst: 13, A: 1, B: 2},
+		{Op: OpLe, DT: i32, Dst: 14, A: 1, B: 2},
+		{Op: OpGt, DT: i32, Dst: 15, A: 1, B: 2},
+		{Op: OpGe, DT: i32, Dst: 16, A: 1, B: 2},
+		{Op: OpAnd, DT: b, Dst: 17, A: 11, B: 12},
+		{Op: OpOr, DT: b, Dst: 18, A: 13, B: 14},
+		{Op: OpXor, DT: b, Dst: 19, A: 15, B: 16},
+		{Op: OpNot, DT: b, Dst: 20, A: 17},
+		{Op: OpBitAnd, DT: i32, Dst: 21, A: 1, B: 2},
+		{Op: OpBitOr, DT: i32, Dst: 22, A: 1, B: 2},
+		{Op: OpBitXor, DT: i32, Dst: 23, A: 1, B: 2},
+		{Op: OpShl, DT: i32, Dst: 24, A: 1, B: 2},
+		{Op: OpShr, DT: i32, Dst: 25, A: 1, B: 2},
+		{Op: OpTruth, DT: b, DT2: i32, Dst: 26, A: 1},
+		{Op: OpSelect, DT: i32, Dst: 27, A: 26, B: 1, C: 2},
+		{Op: OpCast, DT: f64, DT2: i32, Dst: 28, A: 1},
+		{Op: OpSqrt, DT: f64, Dst: 29, A: 28},
+		{Op: OpExp, DT: f64, Dst: 30, A: 29},
+		{Op: OpLog, DT: f64, Dst: 31, A: 30},
+		{Op: OpSin, DT: f64, Dst: 32, A: 31},
+		{Op: OpCos, DT: f64, Dst: 33, A: 32},
+		{Op: OpTan, DT: f64, Dst: 34, A: 33},
+		{Op: OpFloor, DT: f64, Dst: 35, A: 34},
+		{Op: OpCeil, DT: f64, Dst: 36, A: 35},
+		{Op: OpRound, DT: f64, Dst: 37, A: 36},
+		{Op: OpTrunc, DT: f64, Dst: 38, A: 37},
+		{Op: OpLoadIn, DT: i32, Dst: 39, Imm: 1},
+		{Op: OpStoreOut, A: 39, Imm: 2},
+		{Op: OpLoadState, DT: f64, Dst: 40, Imm: 3},
+		{Op: OpStoreState, A: 40, Imm: 4},
+		{Op: OpJmp, Imm: 46},
+		{Op: OpJmpIf, A: 17, Imm: 46},
+		{Op: OpJmpIfNot, A: 18, Imm: 47},
+		{Op: OpProbe, A: 3, B: 1},
+		{Op: OpCondProbe, A: 4, B: 17},
+		{Op: OpHalt},
+	}
+	return ins
+}
+
+// TestDisasmRoundTripsEveryOpcode is the satellite-4 invariant: the
+// disassembly of every opcode renders all of its operands, and ParseDisasm
+// reconstructs the exact instruction.
+func TestDisasmRoundTripsEveryOpcode(t *testing.T) {
+	ins := everyOpcode()
+	// The table must actually cover the whole instruction set.
+	present := make(map[Op]bool)
+	for _, in := range ins {
+		present[in.Op] = true
+	}
+	for op := OpNop; op <= OpHalt; op++ {
+		if !present[op] {
+			t.Fatalf("everyOpcode misses %s", op)
+		}
+	}
+
+	text := Disasm(ins)
+	back, err := ParseDisasm(text)
+	if err != nil {
+		t.Fatalf("ParseDisasm: %v\n%s", err, text)
+	}
+	if len(back) != len(ins) {
+		t.Fatalf("parsed %d instructions, want %d", len(back), len(ins))
+	}
+	for i := range ins {
+		if back[i] != ins[i] {
+			t.Errorf("instruction %d (%s) did not round-trip:\nwant %+v\ngot  %+v\ntext %s",
+				i, ins[i].Op, ins[i], back[i], strings.Split(text, "\n")[i])
+		}
+	}
+}
+
+// TestDisasmUnaryOmitsGarbageOperand guards the regression the rewrite
+// fixed: unary instructions must not print the unused B register.
+func TestDisasmUnaryOmitsGarbageOperand(t *testing.T) {
+	text := Disasm([]Instr{{Op: OpMov, DT: model.Int32, Dst: 3, A: 1}})
+	if strings.Contains(text, ",") {
+		t.Errorf("unary mov prints a second operand: %s", text)
+	}
+	if !strings.Contains(text, "r3 = r1 (int32)") {
+		t.Errorf("unexpected mov rendering: %s", text)
+	}
+}
+
+func TestParseDisasmRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"0  frobnicate r1 = r0 (int32)",
+		"0  add r1 = r0 (int32)",        // missing second operand
+		"0  const r1 = zz (int32 0)",    // bad immediate
+		"0  loadin r1 = out[0] (int32)", // wrong keyword
+	} {
+		if _, err := ParseDisasm(bad); err == nil {
+			t.Errorf("ParseDisasm accepted %q", bad)
+		}
+	}
+}

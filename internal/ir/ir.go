@@ -7,7 +7,6 @@ package ir
 
 import (
 	"fmt"
-	"strings"
 
 	"cftcg/internal/model"
 )
@@ -189,39 +188,6 @@ func (p *Program) TupleSize() int {
 		n += f.Type.Size()
 	}
 	return n
-}
-
-// Disasm renders a function body as assembly text for debugging.
-func Disasm(instrs []Instr) string {
-	var w strings.Builder
-	for pc, in := range instrs {
-		fmt.Fprintf(&w, "%4d  %-9s", pc, in.Op.String())
-		switch in.Op {
-		case OpConst:
-			fmt.Fprintf(&w, " r%d = %#x (%s %g)", in.Dst, in.Imm, in.DT, model.Decode(in.DT, in.Imm))
-		case OpLoadIn, OpLoadState:
-			fmt.Fprintf(&w, " r%d = [%d]", in.Dst, in.Imm)
-		case OpStoreOut, OpStoreState:
-			fmt.Fprintf(&w, " [%d] = r%d", in.Imm, in.A)
-		case OpJmp:
-			fmt.Fprintf(&w, " -> %d", in.Imm)
-		case OpJmpIf, OpJmpIfNot:
-			fmt.Fprintf(&w, " r%d -> %d", in.A, in.Imm)
-		case OpProbe:
-			fmt.Fprintf(&w, " dec=%d outcome=%d", in.A, in.B)
-		case OpCondProbe:
-			fmt.Fprintf(&w, " cond=%d r%d", in.A, in.B)
-		case OpSelect:
-			fmt.Fprintf(&w, " r%d = r%d ? r%d : r%d (%s)", in.Dst, in.A, in.B, in.C, in.DT)
-		case OpCast, OpTruth:
-			fmt.Fprintf(&w, " r%d = %s(r%d as %s)", in.Dst, in.DT, in.A, in.DT2)
-		case OpHalt, OpNop:
-		default:
-			fmt.Fprintf(&w, " r%d = r%d, r%d (%s)", in.Dst, in.A, in.B, in.DT)
-		}
-		w.WriteByte('\n')
-	}
-	return w.String()
 }
 
 // Validate checks structural invariants: register indexes in range, jump

@@ -7,11 +7,16 @@ import (
 
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
+	"cftcg/internal/interval"
 	"cftcg/internal/ir"
 	"cftcg/internal/model"
 	"cftcg/internal/testcase"
 	"cftcg/internal/vm"
 )
+
+// itv aliases the shared abstract domain; box dimensions and abstract
+// registers are plain intervals.
+type itv = interval.Interval
 
 // Options configures the bounded analysis.
 type Options struct {
@@ -160,7 +165,7 @@ func (s *solver) run() {
 		root := box{dims: make([]itv, depth*nf)}
 		for st := 0; st < depth; st++ {
 			for f := 0; f < nf; f++ {
-				root.dims[st*nf+f] = typeRange(s.prog.In[f].Type)
+				root.dims[st*nf+f] = interval.TypeRange(s.prog.In[f].Type)
 			}
 		}
 		// Each unrolling depth gets its share of the wall budget so deep
@@ -230,8 +235,8 @@ func (s *solver) explore(root box, budget int64, deadline time.Time) {
 			if failTaint&(1<<uint(i&63)) == 0 && failTaint != ^uint64(0) {
 				continue
 			}
-			if d.width() > w {
-				w = d.width()
+			if d.Width() > w {
+				w = d.Width()
 				wd = i
 			}
 		}
@@ -239,8 +244,8 @@ func (s *solver) explore(root box, budget int64, deadline time.Time) {
 			// Influencing inputs are already points (hull widening from
 			// earlier steps): fall back to any splittable dimension.
 			for i, d := range b.dims {
-				if d.width() > w {
-					w = d.width()
+				if d.Width() > w {
+					w = d.Width()
 					wd = i
 				}
 			}
@@ -249,7 +254,7 @@ func (s *solver) explore(root box, budget int64, deadline time.Time) {
 			s.witness(b)
 			continue
 		}
-		mid := b.dims[wd].mid()
+		mid := b.dims[wd].Mid()
 		dt := s.prog.In[wd%len(s.prog.In)].Type
 		if !dt.IsFloat() {
 			// Floor (not truncate): guarantees lo <= mid < hi so both
@@ -258,13 +263,13 @@ func (s *solver) explore(root box, budget int64, deadline time.Time) {
 		}
 		left := box{dims: append([]itv(nil), b.dims...)}
 		right := box{dims: append([]itv(nil), b.dims...)}
-		left.dims[wd] = itv{b.dims[wd].lo, mid}
+		left.dims[wd] = itv{Lo: b.dims[wd].Lo, Hi: mid}
 		if dt.IsFloat() {
-			right.dims[wd] = itv{mid, b.dims[wd].hi}
+			right.dims[wd] = itv{Lo: mid, Hi: b.dims[wd].Hi}
 		} else {
-			right.dims[wd] = itv{mid + 1, b.dims[wd].hi}
-			if right.dims[wd].lo > right.dims[wd].hi {
-				right.dims[wd] = itv{b.dims[wd].hi, b.dims[wd].hi}
+			right.dims[wd] = itv{Lo: mid + 1, Hi: b.dims[wd].Hi}
+			if right.dims[wd].Lo > right.dims[wd].Hi {
+				right.dims[wd] = itv{Lo: b.dims[wd].Hi, Hi: b.dims[wd].Hi}
 			}
 		}
 		stack = append(stack, right, left)
@@ -285,7 +290,7 @@ func (s *solver) witness(b box) {
 	for st := 0; st < depth; st++ {
 		for f := 0; f < nf; f++ {
 			dt := s.prog.In[f].Type
-			raw := model.Encode(dt, b.dims[st*nf+f].mid())
+			raw := model.Encode(dt, b.dims[st*nf+f].Mid())
 			in[f] = raw
 			model.PutRaw(dt, data[st*tupleSize+s.prog.In[f].Offset:], raw)
 		}
@@ -321,7 +326,7 @@ func (s *solver) determinate(b box) (ok bool, failTaint uint64) {
 	taint := make([]uint64, s.prog.NumRegs)
 	stTaint := make([]uint64, s.prog.NumState)
 	for i, v := range s.initState {
-		state[i] = point(v)
+		state[i] = interval.Point(v)
 	}
 	wide := len(b.dims) > 64 // taint bits would alias: disable direction
 	for st := 0; st < depth; st++ {
@@ -354,91 +359,91 @@ func (s *solver) absStep(regs, state []itv, taint, stTaint []uint64, in []itv, d
 		case ir.OpNop, ir.OpProbe, ir.OpCondProbe, ir.OpStoreOut:
 			// probes and outputs don't constrain the search
 		case ir.OpConst:
-			regs[ins.Dst] = point(model.Decode(ins.DT, ins.Imm))
+			regs[ins.Dst] = interval.Point(model.Decode(ins.DT, ins.Imm))
 			taint[ins.Dst] = 0
 		case ir.OpMov:
 			regs[ins.Dst] = regs[ins.A]
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpAdd:
-			regs[ins.Dst] = wrapArith(ins.DT, add(regs[ins.A], regs[ins.B]))
+			regs[ins.Dst] = interval.WrapArith(ins.DT, interval.Add(regs[ins.A], regs[ins.B]))
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpSub:
-			regs[ins.Dst] = wrapArith(ins.DT, sub(regs[ins.A], regs[ins.B]))
+			regs[ins.Dst] = interval.WrapArith(ins.DT, interval.Sub(regs[ins.A], regs[ins.B]))
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpMul:
-			regs[ins.Dst] = wrapArith(ins.DT, mul(regs[ins.A], regs[ins.B]))
+			regs[ins.Dst] = interval.WrapArith(ins.DT, interval.Mul(regs[ins.A], regs[ins.B]))
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpDiv:
-			regs[ins.Dst] = wrapArith(ins.DT, div(regs[ins.A], regs[ins.B]))
+			regs[ins.Dst] = interval.WrapArith(ins.DT, interval.Div(regs[ins.A], regs[ins.B]))
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpMin:
-			regs[ins.Dst] = minI(regs[ins.A], regs[ins.B])
+			regs[ins.Dst] = interval.Min(regs[ins.A], regs[ins.B])
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpMax:
-			regs[ins.Dst] = maxI(regs[ins.A], regs[ins.B])
+			regs[ins.Dst] = interval.Max(regs[ins.A], regs[ins.B])
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpNeg:
-			regs[ins.Dst] = wrapArith(ins.DT, negI(regs[ins.A]))
+			regs[ins.Dst] = interval.WrapArith(ins.DT, interval.Neg(regs[ins.A]))
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpAbs:
-			regs[ins.Dst] = absI(regs[ins.A])
+			regs[ins.Dst] = interval.Abs(regs[ins.A])
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
-			regs[ins.Dst] = triToItv(cmp(ins.Op, regs[ins.A], regs[ins.B]))
+			regs[ins.Dst] = interval.TriToItv(interval.Cmp(ins.Op, regs[ins.A], regs[ins.B]))
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpAnd:
 			a, bb := regs[ins.A], regs[ins.B]
-			regs[ins.Dst] = itv{a.lo * bb.lo, a.hi * bb.hi}
+			regs[ins.Dst] = itv{Lo: a.Lo * bb.Lo, Hi: a.Hi * bb.Hi}
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpOr:
 			a, bb := regs[ins.A], regs[ins.B]
-			regs[ins.Dst] = itv{maxf(a.lo, bb.lo), maxf(a.hi, bb.hi)}
+			regs[ins.Dst] = itv{Lo: maxf(a.Lo, bb.Lo), Hi: maxf(a.Hi, bb.Hi)}
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpXor:
 			a, bb := regs[ins.A], regs[ins.B]
-			if a.isPoint() && bb.isPoint() {
-				if (a.lo != 0) != (bb.lo != 0) {
-					regs[ins.Dst] = point(1)
+			if a.IsPoint() && bb.IsPoint() {
+				if (a.Lo != 0) != (bb.Lo != 0) {
+					regs[ins.Dst] = interval.Point(1)
 				} else {
-					regs[ins.Dst] = point(0)
+					regs[ins.Dst] = interval.Point(0)
 				}
 			} else {
-				regs[ins.Dst] = span(0, 1)
+				regs[ins.Dst] = interval.Span(0, 1)
 			}
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpNot:
 			a := regs[ins.A]
-			regs[ins.Dst] = itv{1 - a.hi, 1 - a.lo}
+			regs[ins.Dst] = itv{Lo: 1 - a.Hi, Hi: 1 - a.Lo}
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpBitAnd, ir.OpBitOr, ir.OpBitXor, ir.OpShl, ir.OpShr:
 			a, bb := regs[ins.A], regs[ins.B]
-			if a.isPoint() && bb.isPoint() {
-				regs[ins.Dst] = point(concreteBitOp(ins.Op, ins.DT, a.lo, bb.lo))
+			if a.IsPoint() && bb.IsPoint() {
+				regs[ins.Dst] = interval.Point(concreteBitOp(ins.Op, ins.DT, a.Lo, bb.Lo))
 			} else {
-				regs[ins.Dst] = typeRange(ins.DT)
+				regs[ins.Dst] = interval.TypeRange(ins.DT)
 			}
 			taint[ins.Dst] = taint[ins.A] | taint[ins.B]
 		case ir.OpTruth:
-			regs[ins.Dst] = triToItv(regs[ins.A].truth())
+			regs[ins.Dst] = interval.TriToItv(regs[ins.A].Truth())
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpSelect:
-			switch regs[ins.A].truth() {
-			case triTrue:
+			switch regs[ins.A].Truth() {
+			case interval.TriTrue:
 				regs[ins.Dst] = regs[ins.B]
 				taint[ins.Dst] = taint[ins.A] | taint[ins.B]
-			case triFalse:
+			case interval.TriFalse:
 				regs[ins.Dst] = regs[ins.C]
 				taint[ins.Dst] = taint[ins.A] | taint[ins.C]
 			default:
-				regs[ins.Dst] = regs[ins.B].hull(regs[ins.C])
+				regs[ins.Dst] = regs[ins.B].Hull(regs[ins.C])
 				taint[ins.Dst] = taint[ins.A] | taint[ins.B] | taint[ins.C]
 			}
 		case ir.OpCast:
-			regs[ins.Dst] = castI(ins.DT, ins.DT2, regs[ins.A])
+			regs[ins.Dst] = interval.Cast(ins.DT, ins.DT2, regs[ins.A])
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpSqrt, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos, ir.OpTan,
 			ir.OpFloor, ir.OpCeil, ir.OpRound, ir.OpTrunc:
-			regs[ins.Dst] = mathFn(ins.Op, regs[ins.A])
+			regs[ins.Dst] = interval.MathFn(ins.Op, regs[ins.A])
 			taint[ins.Dst] = taint[ins.A]
 		case ir.OpLoadIn:
 			regs[ins.Dst] = in[ins.Imm]
@@ -453,20 +458,20 @@ func (s *solver) absStep(regs, state []itv, taint, stTaint []uint64, in []itv, d
 			pc = int(ins.Imm)
 			continue
 		case ir.OpJmpIf:
-			switch regs[ins.A].truth() {
-			case triTrue:
+			switch regs[ins.A].Truth() {
+			case interval.TriTrue:
 				pc = int(ins.Imm)
 				continue
-			case triFalse:
+			case interval.TriFalse:
 			default:
 				return false, taint[ins.A] // path depends on these inputs
 			}
 		case ir.OpJmpIfNot:
-			switch regs[ins.A].truth() {
-			case triFalse:
+			switch regs[ins.A].Truth() {
+			case interval.TriFalse:
 				pc = int(ins.Imm)
 				continue
-			case triTrue:
+			case interval.TriTrue:
 			default:
 				return false, taint[ins.A]
 			}

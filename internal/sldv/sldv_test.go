@@ -124,3 +124,17 @@ func TestSolverRespectsWallBudget(t *testing.T) {
 		t.Errorf("solver ignored wall budget: ran %v", elapsed)
 	}
 }
+
+// mathFloor backs the solver's integer-midpoint bisection; it must floor
+// toward negative infinity, not truncate toward zero.
+func TestMathFloorNegative(t *testing.T) {
+	if mathFloor(-0.5) != -1 {
+		t.Error("mathFloor(-0.5) must be -1")
+	}
+	if mathFloor(2.9) != 2 {
+		t.Error("mathFloor(2.9) must be 2")
+	}
+	if mathFloor(-3) != -3 {
+		t.Error("mathFloor(-3) must be -3")
+	}
+}

@@ -16,6 +16,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# Focused full-speed race pass over the concurrency-bearing packages: the
+# engine's cross-goroutine status plane, the campaign daemon's shard fan-out
+# and the shared coverage structures. (The later -short -race sweep covers
+# the rest of the tree.)
+echo "== lint: go test -race (concurrency packages) =="
+go test -race ./internal/fuzz ./internal/campaign ./internal/coverage
+
 echo "== go build =="
 go build ./...
 
