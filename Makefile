@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench
+.PHONY: all build test race vet fmt lint check bench chaos
 
 all: check
 
@@ -30,7 +30,14 @@ fmt:
 lint: fmt vet
 	$(GO) test -race ./internal/fuzz ./internal/campaign ./internal/coverage
 
-check: fmt vet build test race
+# chaos arms the build-tag-gated failpoints (internal/faultinject) and runs
+# the fault-injection suites under the race detector: torn WAL writes, fsync
+# failures, checkpoint panics, hanging shards, and a kill-9 of a real
+# journaled daemon process.
+chaos:
+	$(GO) test -race -tags faultinject ./internal/faultinject ./internal/wal ./internal/fuzz ./internal/campaign
+
+check: fmt vet build test race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

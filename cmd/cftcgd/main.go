@@ -3,11 +3,19 @@
 // multi-shard ensemble with live cross-pollination, and exposes a JSON
 // status API plus Prometheus-text metrics.
 //
-//	cftcgd [-addr host:port] [-runners n] [-drain-timeout d]
+//	cftcgd [-addr host:port] [-runners n] [-drain-timeout d] [-journal dir]
+//	        [-max-queue n] [-max-import-bytes n]
+//
+// With -journal the daemon is crash-durable: every job state transition is
+// appended to a WAL in the journal directory, and on restart the journal is
+// replayed — finished campaigns reappear in the API, campaigns that were
+// queued or running when the process died are requeued and resume their
+// shards from the per-shard checkpoint files the journal directory hosts.
 //
 // Endpoints (see internal/campaign.Server.Handler):
 //
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     liveness + health detail (503 degraded)
+//	GET  /readyz                      readiness (503 while draining)
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /api/campaigns               all campaigns with live snapshots
 //	POST /api/campaigns               submit {"model","shards","budget",...}
@@ -45,10 +53,29 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8355", "HTTP listen address (port 0 picks one)")
 	runners := flag.Int("runners", 1, "campaigns run concurrently (each fans out over its shards)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for running campaigns on shutdown")
+	journalDir := flag.String("journal", "", "journal directory for crash-durable campaign state (empty = in-memory only)")
+	maxQueue := flag.Int("max-queue", 128, "queued submissions beyond this are shed with 503")
+	maxImport := flag.Int64("max-import-bytes", 32<<20, "corpus import request body cap")
 	flag.Parse()
 
-	srv := campaign.NewServer(resolveModel, *runners)
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	srv, err := campaign.NewServerWithConfig(resolveModel, campaign.ServerConfig{
+		Runners:        *runners,
+		MaxQueue:       *maxQueue,
+		MaxImportBytes: *maxImport,
+		Journal:        *journalDir,
+	})
+	if err != nil {
+		log.Fatalf("cftcgd: %v", err)
+	}
+	// Slowloris/stuck-peer protection: generous ceilings that still bound
+	// every connection. Write must cover a full corpus export.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

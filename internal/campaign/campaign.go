@@ -1,8 +1,10 @@
 // Package campaign is the long-running service layer above the fuzzing
 // engine: a Campaign manages N shard engines over one compiled model with
-// live cross-pollination and whole-campaign checkpointing, and Server wraps
-// campaigns in an HTTP control plane (queue, JSON status, Prometheus-text
-// metrics, corpus export/import, graceful drain).
+// live cross-pollination, whole-campaign checkpointing and per-shard
+// supervision (panic capture, stall watchdog, restart-from-checkpoint,
+// quarantine), and Server wraps campaigns in an HTTP control plane (queue,
+// crash-durable WAL journal, JSON status, Prometheus-text metrics, corpus
+// export/import, graceful drain).
 //
 // Cross-pollination fixes the main weakness of share-nothing parallel
 // fuzzing: with independent shards a discovery only helps its finder until
@@ -30,29 +32,43 @@ type Config struct {
 	// Fuzz is the per-shard option template. Seeds are prime-spaced per
 	// shard; CheckpointPath and ResumeFrom are rewritten to per-shard
 	// suffixed files (fuzz.ShardCheckpointPath) so every shard — not just
-	// shard 0 — checkpoints and resumes; Stop and OnNewCoverage are owned
-	// by the campaign.
+	// shard 0 — checkpoints and resumes; Stop, OnNewCoverage, OnCheckpoint
+	// and Label are owned by the campaign.
 	Fuzz fuzz.Options
 	// ShardSeeds optionally gives shard k additional seed inputs beyond
 	// Fuzz.SeedInputs (which every shard receives). Shorter than Shards is
 	// fine; extra entries are ignored.
 	ShardSeeds [][][]byte
+	// Supervise tunes the shard supervisor; the zero value means defaults.
+	Supervise Supervise
+	// ResumeLenient makes a missing or unreadable per-shard resume
+	// checkpoint start that shard fresh instead of failing the campaign.
+	// The daemon sets it for crash-requeued jobs, where the dead process
+	// may have been killed before some shard ever checkpointed; explicit
+	// user-requested resumes stay strict so typos surface.
+	ResumeLenient bool
+	// Observer, when set, receives lifecycle events (checkpoints,
+	// pollinations, restarts, quarantines) synchronously from campaign
+	// goroutines. The daemon uses it to journal shard progress.
+	Observer func(ObserverEvent)
 }
 
 // Campaign runs one model across N shard engines with live corpus
-// cross-pollination. Create with New, drive with Run (blocking), observe
-// concurrently with Snapshot, stop with Stop.
+// cross-pollination, each shard under a supervisor. Create with New, drive
+// with Run (blocking), observe concurrently with Snapshot, stop with Stop.
 type Campaign struct {
-	c       *codegen.Compiled
-	cfg     Config
-	engines []*fuzz.Engine
-	shared  *coverage.SharedProgress
+	c      *codegen.Compiled
+	cfg    Config
+	sup    Supervise
+	shards []*shardSlot
+	shared *coverage.SharedProgress
 
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	pollinated atomic.Int64 // inputs broadcast for globally-new coverage
 	running    atomic.Bool
+	degraded   atomic.Bool // at least one shard quarantined
 
 	mu        sync.Mutex
 	startedAt time.Time
@@ -69,16 +85,18 @@ func New(c *codegen.Compiled, cfg Config) (*Campaign, error) {
 	cm := &Campaign{
 		c:      c,
 		cfg:    cfg,
+		sup:    cfg.Supervise.withDefaults(),
 		shared: coverage.NewShared(c.Plan),
 		stop:   make(chan struct{}),
 	}
-	cm.engines = make([]*fuzz.Engine, cfg.Shards)
+	cm.shards = make([]*shardSlot, cfg.Shards)
 	for w := 0; w < cfg.Shards; w++ {
 		o := cfg.Fuzz
 		o.Seed = cfg.Fuzz.Seed + int64(w)*7919 // distinct prime-spaced streams
 		o.CheckpointPath = fuzz.ShardCheckpointPath(cfg.Fuzz.CheckpointPath, w)
 		o.ResumeFrom = fuzz.ShardCheckpointPath(cfg.Fuzz.ResumeFrom, w)
 		o.Stop = cm.stop
+		o.Label = fmt.Sprintf("shard%d", w)
 		if w < len(cfg.ShardSeeds) && len(cfg.ShardSeeds[w]) > 0 {
 			o.SeedInputs = append(append([][]byte(nil), cfg.Fuzz.SeedInputs...), cfg.ShardSeeds[w]...)
 		}
@@ -86,13 +104,27 @@ func New(c *codegen.Compiled, cfg Config) (*Campaign, error) {
 		o.OnNewCoverage = func(input []byte, seen []uint8) {
 			cm.onNewCoverage(shard, input, seen)
 		}
+		o.OnCheckpoint = func(err error) {
+			cm.observe(ObserverEvent{Kind: EventCheckpoint, Shard: shard, Err: err})
+		}
 		eng, err := fuzz.NewEngine(c, o)
+		if err != nil && cfg.ResumeLenient && o.ResumeFrom != "" {
+			o.ResumeFrom = ""
+			eng, err = fuzz.NewEngine(c, o)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign: shard %d: %w", w, err)
 		}
-		cm.engines[w] = eng
+		cm.shards[w] = &shardSlot{idx: w, opts: o, eng: eng}
 	}
 	return cm, nil
+}
+
+// observe delivers a lifecycle event to the configured observer, if any.
+func (cm *Campaign) observe(ev ObserverEvent) {
+	if cm.cfg.Observer != nil {
+		cm.cfg.Observer(ev)
+	}
 }
 
 // onNewCoverage is each shard's discovery callback (invoked from the
@@ -106,16 +138,19 @@ func (cm *Campaign) onNewCoverage(shard int, input []byte, seen []uint8) {
 		return
 	}
 	cm.pollinated.Add(1)
-	for j, eng := range cm.engines {
-		if j != shard {
-			eng.Inject(input) // Inject copies; input is only valid during this call
+	for _, sl := range cm.shards {
+		if sl.idx != shard {
+			sl.engine().Inject(input) // Inject copies; input is only valid during this call
 		}
 	}
+	cm.observe(ObserverEvent{Kind: EventPollinate, Shard: shard})
 }
 
-// Run executes every shard concurrently and blocks until all finish, then
-// merges their results exactly like fuzz.RunParallel (union coverage,
-// deduplicated findings, ensemble timeline, minimized suite). Run may be
+// Run executes every shard concurrently under supervision and blocks until
+// all finish, then merges the surviving shards' results exactly like
+// fuzz.RunParallel (union coverage, deduplicated findings, ensemble
+// timeline, minimized suite). Quarantined shards are excluded from the
+// merge; only if every shard was quarantined does Run fail. Run may be
 // called once.
 func (cm *Campaign) Run() (*fuzz.Result, error) {
 	cm.mu.Lock()
@@ -140,27 +175,41 @@ func (cm *Campaign) Run() (*fuzz.Result, error) {
 		}()
 	}
 
-	results := make([]*fuzz.Result, len(cm.engines))
+	results := make([]*fuzz.Result, len(cm.shards))
+	recs := make([]*coverage.Recorder, len(cm.shards))
 	var wg sync.WaitGroup
-	for w := range cm.engines {
+	for _, sl := range cm.shards {
 		wg.Add(1)
-		go func(w int) {
+		go func(sl *shardSlot) {
 			defer wg.Done()
-			results[w] = cm.engines[w].Run()
-		}(w)
+			results[sl.idx], recs[sl.idx] = cm.superviseShard(sl)
+		}(sl)
 	}
 	wg.Wait()
 	cm.running.Store(false)
 
-	recs := make([]*coverage.Recorder, len(cm.engines))
-	for w, eng := range cm.engines {
-		recs[w] = eng.Recorder()
+	// Quarantined (or stop-interrupted) shards yield nil; merge the rest.
+	var mres []*fuzz.Result
+	var mrecs []*coverage.Recorder
+	for i := range results {
+		if results[i] != nil {
+			mres = append(mres, results[i])
+			mrecs = append(mrecs, recs[i])
+		}
 	}
-	out := fuzz.MergeResults(cm.c, recs, results)
-	out.Suite.Cases = fuzz.Minimize(cm.c, out.Suite.Cases)
-
 	cm.mu.Lock()
 	cm.elapsed = time.Since(cm.startedAt)
+	cm.mu.Unlock()
+	if len(mres) == 0 {
+		return nil, fmt.Errorf("campaign: all %d shards quarantined", len(cm.shards))
+	}
+	out := fuzz.MergeResults(cm.c, mrecs, mres)
+	out.Suite.Cases = fuzz.Minimize(cm.c, out.Suite.Cases)
+	if cm.degraded.Load() {
+		out.Stopped = true // partial ensemble: flag the result as incomplete
+	}
+
+	cm.mu.Lock()
 	cm.result = out
 	cm.mu.Unlock()
 	return out, nil
@@ -173,11 +222,15 @@ func (cm *Campaign) Stop() {
 	cm.stopOnce.Do(func() { close(cm.stop) })
 }
 
+// Degraded reports whether any shard has been quarantined — the campaign is
+// still producing a result, but from a partial ensemble.
+func (cm *Campaign) Degraded() bool { return cm.degraded.Load() }
+
 // Inject broadcasts an external input (corpus import) to every shard; each
 // shard's own admission policy decides whether it enters that corpus.
 func (cm *Campaign) Inject(data []byte) {
-	for _, eng := range cm.engines {
-		eng.Inject(data)
+	for _, sl := range cm.shards {
+		sl.engine().Inject(data)
 	}
 }
 
@@ -185,8 +238,8 @@ func (cm *Campaign) Inject(data []byte) {
 // a seedable corpus snapshot, valid while the campaign runs and after.
 func (cm *Campaign) CorpusExport() [][]byte {
 	var out [][]byte
-	for _, eng := range cm.engines {
-		out = append(out, eng.Cases()...)
+	for _, sl := range cm.shards {
+		out = append(out, sl.engine().Cases()...)
 	}
 	return out
 }
@@ -202,6 +255,11 @@ func (cm *Campaign) Result() *fuzz.Result {
 type ShardStatus struct {
 	Shard int `json:"shard"`
 	fuzz.LiveStats
+	// Restarts counts supervisor-driven engine replacements; Quarantined
+	// marks a shard the supervisor gave up on (LastError says why).
+	Restarts    int    `json:"restarts,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	LastError   string `json:"lastError,omitempty"`
 }
 
 // Snapshot is a point-in-time view of a campaign, safe to take from any
@@ -241,6 +299,15 @@ type Snapshot struct {
 	// mutation.
 	FieldHits []int64 `json:"fieldHits,omitempty"`
 
+	// Supervision: total engine restarts, quarantined shard count, whether
+	// the ensemble is running degraded, and the oldest successful shard
+	// checkpoint (zero when none has been written) — the staleness bound on
+	// what a crash-restart would lose.
+	Restarts         int       `json:"restarts,omitempty"`
+	Quarantined      int       `json:"quarantined,omitempty"`
+	Degraded         bool      `json:"degraded,omitempty"`
+	OldestCheckpoint time.Time `json:"oldestCheckpoint,omitempty"`
+
 	Running bool          `json:"running"`
 	Elapsed time.Duration `json:"elapsed"`
 }
@@ -253,18 +320,36 @@ var findingKindNames = [...]string{"crash", "hang", "numeric-anomaly"}
 func (cm *Campaign) Snapshot() Snapshot {
 	s := Snapshot{
 		Model:    cm.c.Prog.Name,
-		Shards:   make([]ShardStatus, len(cm.engines)),
+		Shards:   make([]ShardStatus, len(cm.shards)),
 		Findings: map[string]int{},
 		Running:  cm.running.Load(),
+		Degraded: cm.degraded.Load(),
 	}
 	s.DeadObjectives = cm.c.Plan.DeadCount()
 	for _, f := range cm.c.Prog.In {
 		s.InputFields = append(s.InputFields, f.Name)
 	}
 	s.FieldHits = make([]int64, len(cm.c.Prog.In))
-	for i, eng := range cm.engines {
+	for i, sl := range cm.shards {
+		sl.mu.Lock()
+		eng := sl.eng
+		st := ShardStatus{
+			Shard:       i,
+			Restarts:    sl.restarts,
+			Quarantined: sl.quarantined,
+			LastError:   sl.lastErr,
+		}
+		sl.mu.Unlock()
 		ls := eng.LiveStats()
-		s.Shards[i] = ShardStatus{Shard: i, LiveStats: ls}
+		st.LiveStats = ls
+		s.Shards[i] = st
+		s.Restarts += st.Restarts
+		if st.Quarantined {
+			s.Quarantined++
+		} else if !ls.LastCheckpoint.IsZero() &&
+			(s.OldestCheckpoint.IsZero() || ls.LastCheckpoint.Before(s.OldestCheckpoint)) {
+			s.OldestCheckpoint = ls.LastCheckpoint
+		}
 		s.Execs += ls.Execs
 		s.Steps += ls.Steps
 		s.Corpus += ls.Corpus

@@ -31,6 +31,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "cftcgd_campaigns{state=%q} %d\n", state, states[state])
 	}
 
+	fmt.Fprintln(w, "# HELP cftcgd_queue_depth Submissions waiting for a runner.")
+	fmt.Fprintln(w, "# TYPE cftcgd_queue_depth gauge")
+	fmt.Fprintf(w, "cftcgd_queue_depth %d\n", len(s.queue))
+	fmt.Fprintln(w, "# HELP cftcgd_journal_segments WAL segments in the campaign journal (0 = journaling off).")
+	fmt.Fprintln(w, "# TYPE cftcgd_journal_segments gauge")
+	fmt.Fprintf(w, "cftcgd_journal_segments %d\n", s.journal.segments())
+	fmt.Fprintln(w, "# HELP cftcgd_journal_failed 1 when the journal has a sticky append/fsync failure.")
+	fmt.Fprintln(w, "# TYPE cftcgd_journal_failed gauge")
+	jf := 0
+	if s.journal.err() != nil {
+		jf = 1
+	}
+	fmt.Fprintf(w, "cftcgd_journal_failed %d\n", jf)
+
 	fmt.Fprintln(w, "# HELP cftcg_campaign_execs_total Fuzz-driver executions per campaign.")
 	fmt.Fprintln(w, "# TYPE cftcg_campaign_execs_total counter")
 	fmt.Fprintln(w, "# HELP cftcg_campaign_execs_per_second Aggregate campaign throughput.")
@@ -47,6 +61,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE cftcg_campaign_pollinations_total counter")
 	fmt.Fprintln(w, "# HELP cftcg_campaign_shard_execs_total Fuzz-driver executions per shard.")
 	fmt.Fprintln(w, "# TYPE cftcg_campaign_shard_execs_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_shard_restarts_total Supervisor engine restarts per campaign.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_shard_restarts_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_quarantined_shards Shards the supervisor has given up on.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_quarantined_shards gauge")
+	fmt.Fprintln(w, "# HELP cftcg_campaign_degraded 1 when the campaign runs with quarantined shards.")
+	fmt.Fprintln(w, "# TYPE cftcg_campaign_degraded gauge")
 	fmt.Fprintln(w, "# HELP cftcg_dead_objectives Branch slots statically proved unreachable, excluded from coverage denominators.")
 	fmt.Fprintln(w, "# TYPE cftcg_dead_objectives gauge")
 	fmt.Fprintln(w, "# HELP cftcg_field_mutations_total Targeted value mutations per input field, summed over shards.")
@@ -70,6 +90,13 @@ func (s *Server) writeMetrics(w io.Writer) {
 		for _, sh := range snap.Shards {
 			fmt.Fprintf(w, "cftcg_campaign_shard_execs_total{%s,shard=\"%d\"} %d\n", base, sh.Shard, sh.Execs)
 		}
+		fmt.Fprintf(w, "cftcg_campaign_shard_restarts_total{%s} %d\n", base, snap.Restarts)
+		fmt.Fprintf(w, "cftcg_campaign_quarantined_shards{%s} %d\n", base, snap.Quarantined)
+		deg := 0
+		if snap.Degraded {
+			deg = 1
+		}
+		fmt.Fprintf(w, "cftcg_campaign_degraded{%s} %d\n", base, deg)
 		fmt.Fprintf(w, "cftcg_dead_objectives{%s} %d\n", base, snap.DeadObjectives)
 		for f, n := range snap.FieldHits {
 			name := fmt.Sprintf("f%d", f)

@@ -3,8 +3,10 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
@@ -32,8 +34,14 @@ type Spec struct {
 	Fuel      int64  `json:"fuel,omitempty"`      // per-step instruction budget
 	// Checkpoint enables per-shard crash-safe checkpoints under this
 	// server-side base path; Resume restores them on a later submission.
+	// When the server runs with a journal, an empty Checkpoint is assigned
+	// automatically under the journal directory so a daemon crash-restart
+	// can resume the shards without caller configuration.
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Resume     string `json:"resume,omitempty"`
+	// CheckpointEvery overrides the periodic checkpoint interval (Go
+	// duration; engine default 30s).
+	CheckpointEvery string `json:"checkpointEvery,omitempty"`
 	// Analyze runs the static dead-objective analysis before fuzzing so
 	// unreachable branch slots drop out of the coverage denominators.
 	Analyze bool `json:"analyze,omitempty"`
@@ -68,6 +76,13 @@ func (sp *Spec) options() (fuzz.Options, error) {
 		}
 		opts.Budget = d
 	}
+	if sp.CheckpointEvery != "" {
+		d, err := time.ParseDuration(sp.CheckpointEvery)
+		if err != nil {
+			return fuzz.Options{}, fmt.Errorf("bad checkpointEvery: %w", err)
+		}
+		opts.CheckpointEvery = d
+	}
 	if opts.Budget == 0 && opts.MaxExecs == 0 {
 		opts.Budget = 10 * time.Second
 	}
@@ -84,11 +99,17 @@ const (
 	StateCanceled = "canceled"
 )
 
+// ErrOverloaded is returned by Submit when the queue is at capacity; the
+// HTTP layer maps it to 503 so load balancers retry elsewhere.
+var ErrOverloaded = errors.New("campaign: queue full")
+
 // Job is one queued or executed campaign.
 type Job struct {
 	ID        int
 	Spec      Spec
 	Submitted time.Time
+
+	requeued bool // recovered from the journal after a daemon crash
 
 	mu       sync.Mutex
 	state    string
@@ -97,6 +118,7 @@ type Job struct {
 	finished time.Time
 	err      string
 	stopped  bool // finished on an external stop rather than budget
+	degraded bool // finished with at least one quarantined shard
 	report   *coverage.Report
 	final    *Snapshot
 	corpus   [][]byte // export snapshot once done
@@ -112,6 +134,8 @@ type JobStatus struct {
 	Started   *time.Time       `json:"started,omitempty"`
 	Finished  *time.Time       `json:"finished,omitempty"`
 	Stopped   bool             `json:"stopped,omitempty"`
+	Degraded  bool             `json:"degraded,omitempty"`
+	Requeued  bool             `json:"requeued,omitempty"`
 	Error     string           `json:"error,omitempty"`
 	Snapshot  *Snapshot        `json:"snapshot,omitempty"`
 	Report    *coverage.Report `json:"report,omitempty"`
@@ -127,8 +151,13 @@ func (j *Job) status() JobStatus {
 		Spec:      j.Spec,
 		Submitted: j.Submitted,
 		Stopped:   j.stopped,
+		Degraded:  j.degraded,
+		Requeued:  j.requeued,
 		Error:     j.err,
 		Report:    j.report,
+	}
+	if j.campaign != nil && j.campaign.Degraded() {
+		st.Degraded = true
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -148,11 +177,55 @@ func (j *Job) status() JobStatus {
 	return st
 }
 
+// ServerConfig tunes the campaign server. The zero value (plus a resolver)
+// is a working in-memory server; set Journal for crash durability.
+type ServerConfig struct {
+	// Runners is the number of concurrent campaign runners (default 1).
+	Runners int
+	// MaxQueue bounds the submission queue; submissions beyond it are shed
+	// with ErrOverloaded/503 (default 128).
+	MaxQueue int
+	// MaxImportBytes caps a corpus-import request body (default 32 MiB).
+	MaxImportBytes int64
+	// Journal, when non-empty, is a directory holding the crash-durable
+	// job journal (a WAL) plus auto-assigned per-job checkpoint files. On
+	// start the journal is replayed: finished campaigns reappear in the
+	// API, interrupted ones are requeued and resume from their shards'
+	// checkpoints.
+	Journal string
+	// JournalSegmentBytes overrides the WAL segment size (testing).
+	JournalSegmentBytes int64
+	// CompactSegments triggers journal compaction when the WAL grows past
+	// this many segments (default 4).
+	CompactSegments int
+	// Supervise tunes shard supervision for every campaign this server runs.
+	Supervise Supervise
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Runners < 1 {
+		c.Runners = 1
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 128
+	}
+	if c.MaxImportBytes <= 0 {
+		c.MaxImportBytes = 32 << 20
+	}
+	if c.CompactSegments <= 0 {
+		c.CompactSegments = 4
+	}
+	return c
+}
+
 // Server is the campaign service: a submission queue, a bounded pool of
-// campaign runners, and the HTTP status/metrics plane. Everything is
-// stdlib net/http — the daemon stays dependency-free.
+// campaign runners, an optional crash-durable journal, and the HTTP
+// status/metrics plane. Everything is stdlib net/http — the daemon stays
+// dependency-free.
 type Server struct {
+	cfg     ServerConfig
 	resolve ModelResolver
+	journal *journal
 	queue   chan *Job
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -165,26 +238,104 @@ type Server struct {
 	draining bool
 }
 
-// NewServer builds a campaign server running up to `runners` campaigns
-// concurrently (each campaign itself fans out over its shards). Call Drain
-// to shut it down.
+// NewServer builds a campaign server with default configuration running up
+// to `runners` campaigns concurrently (each campaign itself fans out over
+// its shards). Call Drain to shut it down.
 func NewServer(resolve ModelResolver, runners int) *Server {
-	if runners < 1 {
-		runners = 1
+	s, err := NewServerWithConfig(resolve, ServerConfig{Runners: runners})
+	if err != nil {
+		// Unreachable without a journal (the only fallible part); keep the
+		// historical infallible signature for the common case.
+		panic(err)
 	}
+	return s
+}
+
+// NewServerWithConfig builds a campaign server. With cfg.Journal set, the
+// journal is replayed first: completed jobs are restored read-only and jobs
+// that were queued or running when the previous process died are requeued,
+// resuming their shards from the per-shard checkpoint files.
+func NewServerWithConfig(resolve ModelResolver, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
 	s := &Server{
+		cfg:     cfg,
 		resolve: resolve,
-		queue:   make(chan *Job, 128),
 		quit:    make(chan struct{}),
 		start:   time.Now(),
 		byID:    map[int]*Job{},
 		nextID:  1,
 	}
-	for i := 0; i < runners; i++ {
+	var requeue []*Job
+	if cfg.Journal != "" {
+		jnl, err := openJournal(cfg.Journal, cfg.JournalSegmentBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jnl
+		replayed, nextID, err := jnl.replay()
+		if err != nil {
+			jnl.close()
+			return nil, err
+		}
+		s.nextID = nextID
+		for _, jj := range replayed {
+			job := restoreJob(jj)
+			s.jobs = append(s.jobs, job)
+			s.byID[job.ID] = job
+			if job.state == StateQueued {
+				s.assignCheckpoint(job)
+				if job.requeued && job.Spec.Checkpoint != "" {
+					// Resume from whatever the dead process last flushed.
+					job.Spec.Resume = job.Spec.Checkpoint
+				}
+				requeue = append(requeue, job)
+			}
+		}
+	}
+	// Recovered jobs must all fit regardless of the shed threshold — they
+	// were accepted once already.
+	s.queue = make(chan *Job, cfg.MaxQueue+len(requeue))
+	for _, job := range requeue {
+		s.queue <- job
+	}
+	for i := 0; i < cfg.Runners; i++ {
 		s.wg.Add(1)
 		go s.runner()
 	}
-	return s
+	return s, nil
+}
+
+// restoreJob rebuilds a Job from its replayed journal state. Jobs that were
+// queued or running when the previous daemon died come back queued (and
+// marked requeued); finished ones keep their terminal state and report.
+func restoreJob(jj *journalJob) *Job {
+	job := &Job{
+		ID:        jj.ID,
+		Spec:      jj.Spec,
+		Submitted: jj.Submitted,
+		state:     jj.State,
+		started:   jj.Started,
+		finished:  jj.Finished,
+		err:       jj.Error,
+		stopped:   jj.Stopped,
+		degraded:  jj.Degraded,
+		report:    jj.Report,
+	}
+	if job.state == StateQueued || job.state == StateRunning {
+		job.requeued = job.state == StateRunning || !job.started.IsZero()
+		job.state = StateQueued
+		job.started = time.Time{}
+	}
+	return job
+}
+
+// assignCheckpoint gives a journaled job a server-side checkpoint base path
+// when the submission did not name one, so crash-restart can always resume.
+func (s *Server) assignCheckpoint(job *Job) {
+	if s.journal == nil || job.Spec.Checkpoint != "" {
+		return
+	}
+	job.Spec.Checkpoint = filepath.Join(s.cfg.Journal, fmt.Sprintf("job-%d.ckpt", job.ID))
 }
 
 // runner consumes the queue until drain.
@@ -200,7 +351,8 @@ func (s *Server) runner() {
 	}
 }
 
-// runJob executes one campaign and records its outcome on the job.
+// runJob executes one campaign, journals its transitions, and records its
+// outcome on the job.
 func (s *Server) runJob(job *Job) {
 	job.mu.Lock()
 	if job.state != StateQueued { // canceled while queued
@@ -215,6 +367,8 @@ func (s *Server) runJob(job *Job) {
 		job.err = err.Error()
 		job.finished = time.Now()
 		job.mu.Unlock()
+		s.journal.record(journalEvent{Type: evFinished, Job: job.ID, State: StateFailed, Error: err.Error()})
+		s.maybeCompact()
 	}
 	compiled, err := s.resolve(job.Spec.Model)
 	if err != nil {
@@ -231,7 +385,13 @@ func (s *Server) runJob(job *Job) {
 		fail(err)
 		return
 	}
-	cm, err := New(compiled, Config{Shards: job.Spec.Shards, Fuzz: opts})
+	cm, err := New(compiled, Config{
+		Shards:        job.Spec.Shards,
+		Fuzz:          opts,
+		Supervise:     s.cfg.Supervise,
+		ResumeLenient: job.requeued,
+		Observer:      s.observerFor(job.ID),
+	})
 	if err != nil {
 		fail(err)
 		return
@@ -246,18 +406,22 @@ func (s *Server) runJob(job *Job) {
 	job.campaign = cm
 	job.started = time.Now()
 	job.mu.Unlock()
+	s.journal.record(journalEvent{Type: evStarted, Job: job.ID})
 
 	res, err := cm.Run()
 	job.mu.Lock()
-	defer job.mu.Unlock()
 	job.finished = time.Now()
 	if err != nil {
 		job.state = StateFailed
 		job.err = err.Error()
+		job.mu.Unlock()
+		s.journal.record(journalEvent{Type: evFinished, Job: job.ID, State: StateFailed, Error: err.Error()})
+		s.maybeCompact()
 		return
 	}
 	job.state = StateDone
 	job.stopped = res.Stopped
+	job.degraded = cm.Degraded()
 	job.report = &res.Report
 	snap := cm.Snapshot()
 	job.final = &snap
@@ -265,10 +429,66 @@ func (s *Server) runJob(job *Job) {
 	if res.CheckpointErr != nil {
 		job.err = "checkpoint: " + res.CheckpointErr.Error()
 	}
+	ev := journalEvent{
+		Type: evFinished, Job: job.ID, State: StateDone,
+		Stopped: job.stopped, Degraded: job.degraded, Report: job.report, Error: job.err,
+	}
+	job.mu.Unlock()
+	s.journal.record(ev)
+	s.maybeCompact()
+}
+
+// observerFor journals a running campaign's shard lifecycle events.
+func (s *Server) observerFor(jobID int) func(ObserverEvent) {
+	if s.journal == nil {
+		return nil
+	}
+	return func(ev ObserverEvent) {
+		rec := journalEvent{Job: jobID, Shard: ev.Shard}
+		if ev.Err != nil {
+			rec.Error = ev.Err.Error()
+		}
+		switch ev.Kind {
+		case EventCheckpoint:
+			rec.Type = evCheckpointed
+		case EventPollinate:
+			rec.Type = evPollinated
+		case EventRestart:
+			rec.Type = evRestarted
+		case EventQuarantine:
+			rec.Type = evQuarantined
+		default:
+			return
+		}
+		s.journal.record(rec)
+	}
+}
+
+// maybeCompact rewrites the journal as one snapshot record once it has grown
+// past the configured segment count, releasing the older segments.
+func (s *Server) maybeCompact() {
+	if s.journal == nil || s.journal.segments() <= s.cfg.CompactSegments {
+		return
+	}
+	s.mu.Lock()
+	jobs := append([]*Job(nil), s.jobs...)
+	nextID := s.nextID
+	s.mu.Unlock()
+	table := make([]journalJob, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		table = append(table, journalJob{
+			ID: j.ID, Spec: j.Spec, State: j.state, Error: j.err,
+			Stopped: j.stopped, Degraded: j.degraded, Report: j.report,
+			Submitted: j.Submitted, Started: j.started, Finished: j.finished,
+		})
+		j.mu.Unlock()
+	}
+	s.journal.compact(table, nextID)
 }
 
 // Submit enqueues a campaign, returning the job or an error if the server
-// is draining or the queue is full.
+// is draining or the queue is at capacity (ErrOverloaded).
 func (s *Server) Submit(spec Spec) (*Job, error) {
 	if spec.Model == "" {
 		return nil, fmt.Errorf("campaign: missing model")
@@ -281,21 +501,27 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("campaign: server is draining")
 	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
 	job := &Job{ID: s.nextID, Spec: spec, Submitted: time.Now(), state: StateQueued}
 	s.nextID++
+	s.assignCheckpoint(job)
 	s.jobs = append(s.jobs, job)
 	s.byID[job.ID] = job
 	s.mu.Unlock()
 
 	select {
 	case s.queue <- job:
+		s.journal.record(journalEvent{Type: evSubmitted, Job: job.ID, Spec: &job.Spec})
 		return job, nil
 	default:
 		job.mu.Lock()
 		job.state = StateFailed
-		job.err = "queue full"
+		job.err = ErrOverloaded.Error()
 		job.mu.Unlock()
-		return nil, fmt.Errorf("campaign: queue full")
+		return nil, ErrOverloaded
 	}
 }
 
@@ -321,21 +547,29 @@ func (s *Server) StopJob(id int) error {
 		return fmt.Errorf("campaign: no job %d", id)
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued:
 		j.state = StateCanceled
 		j.finished = time.Now()
+		j.mu.Unlock()
+		s.journal.record(journalEvent{Type: evCanceled, Job: id})
 	case StateRunning:
 		j.campaign.Stop()
+		j.mu.Unlock()
+	default:
+		j.mu.Unlock()
 	}
 	return nil
 }
 
+// QueueDepth reports the number of submissions waiting for a runner.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
 // Drain is the SIGTERM path: refuse new submissions, cancel queued jobs,
 // stop running campaigns via their shards' Options.Stop channels (each
 // shard flushes its final checkpoint on the way out), and wait — bounded by
-// ctx — for the runners to finish.
+// ctx — for the runners to finish. The journal is closed last so every
+// final transition is recorded.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -348,10 +582,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		case StateQueued:
 			j.state = StateCanceled
 			j.finished = time.Now()
+			j.mu.Unlock()
+			s.journal.record(journalEvent{Type: evCanceled, Job: j.ID})
 		case StateRunning:
 			j.campaign.Stop()
+			j.mu.Unlock()
+		default:
+			j.mu.Unlock()
 		}
-		j.mu.Unlock()
 	}
 	done := make(chan struct{})
 	go func() {
@@ -360,10 +598,82 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.journal.close()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("campaign: drain timed out: %w", ctx.Err())
 	}
+}
+
+// Health is the daemon's self-assessment, served on /healthz. Status is
+// "degraded" — with HTTP 503 — when durability or capacity is compromised:
+// the journal cannot persist transitions, a running campaign has quarantined
+// shards, or the queue is saturated. Liveness stays 200 while draining
+// (the process is healthy, just finishing); readiness (/readyz) does not.
+type Health struct {
+	Status            string  `json:"status"` // ok | degraded
+	UptimeSeconds     float64 `json:"uptimeSeconds"`
+	Draining          bool    `json:"draining,omitempty"`
+	QueueDepth        int     `json:"queueDepth"`
+	QueueMax          int     `json:"queueMax"`
+	JournalEnabled    bool    `json:"journalEnabled"`
+	JournalSegments   int     `json:"journalSegments,omitempty"`
+	JournalError      string  `json:"journalError,omitempty"`
+	RunningCampaigns  int     `json:"runningCampaigns"`
+	DegradedCampaigns int     `json:"degradedCampaigns"`
+	QuarantinedShards int     `json:"quarantinedShards"`
+	// LastCheckpointAgeSeconds is the age of the *oldest* live shard
+	// checkpoint across running campaigns — the upper bound on fuzzing
+	// progress a crash right now would lose. Negative when no running
+	// campaign has checkpointed yet.
+	LastCheckpointAgeSeconds float64 `json:"lastCheckpointAgeSeconds"`
+}
+
+// Health assembles the current health snapshot.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	jobs := append([]*Job(nil), s.jobs...)
+	s.mu.Unlock()
+	h := Health{
+		Status:                   "ok",
+		UptimeSeconds:            time.Since(s.start).Seconds(),
+		Draining:                 draining,
+		QueueDepth:               len(s.queue),
+		QueueMax:                 s.cfg.MaxQueue,
+		JournalEnabled:           s.journal != nil,
+		JournalSegments:          s.journal.segments(),
+		LastCheckpointAgeSeconds: -1,
+	}
+	if err := s.journal.err(); err != nil {
+		h.JournalError = err.Error()
+	}
+	oldest := time.Time{}
+	for _, j := range jobs {
+		j.mu.Lock()
+		cm := j.campaign
+		running := j.state == StateRunning
+		j.mu.Unlock()
+		if !running || cm == nil {
+			continue
+		}
+		h.RunningCampaigns++
+		snap := cm.Snapshot()
+		h.QuarantinedShards += snap.Quarantined
+		if snap.Degraded {
+			h.DegradedCampaigns++
+		}
+		if !snap.OldestCheckpoint.IsZero() && (oldest.IsZero() || snap.OldestCheckpoint.Before(oldest)) {
+			oldest = snap.OldestCheckpoint
+		}
+	}
+	if !oldest.IsZero() {
+		h.LastCheckpointAgeSeconds = time.Since(oldest).Seconds()
+	}
+	if h.JournalError != "" || h.QuarantinedShards > 0 || h.QueueDepth >= h.QueueMax {
+		h.Status = "degraded"
+	}
+	return h
 }
 
 // corpusPayload is the wire format of corpus export/import: JSON with
@@ -375,7 +685,8 @@ type corpusPayload struct {
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /healthz                     liveness
+//	GET  /healthz                     liveness + health detail (503 when degraded)
+//	GET  /readyz                      readiness (503 while draining)
 //	GET  /metrics                     Prometheus text exposition
 //	GET  /api/campaigns               all jobs with live snapshots
 //	POST /api/campaigns               submit a Spec, returns the job
@@ -386,8 +697,20 @@ type corpusPayload struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		h := s.Health()
+		code := http.StatusOK
+		if h.Status != "ok" {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		if h.Draining || h.Status != "ok" {
+			writeJSON(w, http.StatusServiceUnavailable, h)
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -403,7 +726,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /api/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
 			return
 		}
@@ -452,7 +775,14 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		var payload corpusPayload
-		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxImportBytes)
+		if err := json.NewDecoder(body).Decode(&payload); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("corpus import exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad corpus: %w", err))
 			return
 		}

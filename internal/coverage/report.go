@@ -60,6 +60,31 @@ func (r Report) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// UnmarshalJSON inverts MarshalJSON so reports survive a round trip through
+// persisted JSON (the daemon's crash-durable campaign journal).
+func (r *Report) UnmarshalJSON(data []byte) error {
+	type frac struct {
+		Covered int `json:"covered"`
+		Total   int `json:"total"`
+	}
+	var w struct {
+		Model     string   `json:"model"`
+		Decision  frac     `json:"decision"`
+		Condition frac     `json:"condition"`
+		MCDC      frac     `json:"mcdc"`
+		Uncovered []string `json:"uncoveredDecisions"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	r.ModelName = w.Model
+	r.DecisionCovered, r.DecisionTotal = w.Decision.Covered, w.Decision.Total
+	r.CondCovered, r.CondTotal = w.Condition.Covered, w.Condition.Total
+	r.MCDCCovered, r.MCDCTotal = w.MCDC.Covered, w.MCDC.Total
+	r.UncoveredDecisions = w.Uncovered
+	return nil
+}
+
 func (r Report) String() string {
 	return fmt.Sprintf("%s: decision %.1f%% (%d/%d), condition %.1f%% (%d/%d), MCDC %.1f%% (%d/%d)",
 		r.ModelName,

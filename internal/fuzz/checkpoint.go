@@ -4,7 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
+
+	"cftcg/internal/faultinject"
+	"cftcg/internal/wal"
 )
 
 // CheckpointVersion is bumped whenever the on-disk format changes
@@ -59,10 +63,15 @@ func (e *Engine) Snapshot() *Checkpoint {
 	return cp
 }
 
-// WriteCheckpoint persists a checkpoint atomically: the JSON is written to a
-// temporary sibling file, synced, and renamed into place, so a crash mid-save
-// leaves the previous checkpoint intact rather than a truncated one.
+// WriteCheckpoint persists a checkpoint atomically and durably: the JSON is
+// written to a temporary sibling file, synced, renamed into place, and the
+// parent directory is synced so the rename itself survives power loss. A
+// crash mid-save leaves the previous checkpoint intact rather than a
+// truncated one.
 func WriteCheckpoint(path string, cp *Checkpoint) error {
+	if err := faultinject.Eval("checkpoint.write"); err != nil {
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
 	data, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("fuzz: marshal checkpoint: %w", err)
@@ -86,8 +95,15 @@ func WriteCheckpoint(path string, cp *Checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("fuzz: checkpoint: %w", err)
 	}
+	if err := faultinject.Eval("checkpoint.rename"); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return fmt.Errorf("fuzz: checkpoint: %w", err)
+	}
+	if err := wal.SyncDir(filepath.Dir(path)); err != nil {
 		return fmt.Errorf("fuzz: checkpoint: %w", err)
 	}
 	return nil
@@ -130,12 +146,31 @@ func ShardCheckpointPath(base string, shard int) string {
 // the save interval has elapsed. Save errors are remembered (surfaced on the
 // final flush) but do not abort the campaign.
 func (e *Engine) maybeCheckpoint() {
-	if e.opts.CheckpointPath == "" || time.Since(e.lastCkpt) < e.opts.CheckpointEvery {
+	if e.opts.CheckpointPath == "" || e.ckptOff.Load() || time.Since(e.lastCkpt) < e.opts.CheckpointEvery {
 		return
 	}
 	e.lastCkpt = time.Now()
-	e.ckptErr = e.WriteCheckpoint(e.opts.CheckpointPath)
+	e.flushCheckpoint()
 }
+
+// flushCheckpoint writes one checkpoint, records the outcome for the live
+// status plane, and notifies the campaign observer.
+func (e *Engine) flushCheckpoint() {
+	e.ckptErr = e.WriteCheckpoint(e.opts.CheckpointPath)
+	if e.ckptErr == nil {
+		e.lastCkptOK = time.Now()
+		e.updateLive()
+	}
+	if e.opts.OnCheckpoint != nil {
+		e.opts.OnCheckpoint(e.ckptErr)
+	}
+}
+
+// DisableCheckpoint permanently stops this engine writing checkpoints. The
+// shard supervisor calls it before abandoning a wedged engine so a zombie
+// goroutine waking up later cannot clobber its replacement's checkpoint file
+// with stale state. Safe to call from any goroutine.
+func (e *Engine) DisableCheckpoint() { e.ckptOff.Store(true) }
 
 // replayCheckpoint restores a loaded checkpoint: every saved corpus entry is
 // replayed through the instrumented program (rebuilding coverage, cases and

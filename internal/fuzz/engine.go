@@ -13,6 +13,7 @@ import (
 	"cftcg/internal/analysis"
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
+	"cftcg/internal/faultinject"
 	"cftcg/internal/model"
 	"cftcg/internal/testcase"
 	"cftcg/internal/vm"
@@ -105,6 +106,16 @@ type Options struct {
 	// call and must be copied if retained. The campaign layer uses this to
 	// cross-pollinate globally-new inputs between shards.
 	OnNewCoverage func(input []byte, seen []uint8)
+
+	// OnCheckpoint, when non-nil, is invoked from the engine's goroutine
+	// after every checkpoint write attempt (periodic and final) with the
+	// write's outcome. The campaign layer journals these transitions.
+	OnCheckpoint func(err error)
+
+	// Label tags this engine for observability; the campaign layer sets it
+	// to the shard name. Chaos builds scope the engine-loop failpoint by it
+	// ("fuzz.loop:<label>") so a fault can target one shard.
+	Label string
 }
 
 // ParseMode parses a mode name as spelled on the CLI and the daemon API.
@@ -233,7 +244,10 @@ type Engine struct {
 	stopFlag        atomic.Bool
 	resumed         *Checkpoint
 	lastCkpt        time.Time
+	lastCkptOK      time.Time // last successful checkpoint write
 	ckptErr         error
+	ckptOff         atomic.Bool // set when a supervisor abandons this engine
+	fpLoop          string      // per-engine run-loop failpoint name
 
 	// cross-pollination inbox: inputs other shards discovered, delivered by
 	// Inject from foreign goroutines and drained by the run loop.
@@ -268,6 +282,10 @@ type LiveStats struct {
 	// like Prog.In) — under directed mode this shows where the influence
 	// bias is spending mutation energy.
 	FieldHits []int64 `json:"fieldHits,omitempty"`
+	// LastCheckpoint is the wall-clock time of the last successful
+	// checkpoint write (zero when checkpointing is off or none succeeded
+	// yet) — the daemon health plane reports its age.
+	LastCheckpoint time.Time `json:"lastCheckpoint,omitempty"`
 	// DeadObjectives is the number of branch slots statically proved
 	// unreachable and excluded from this engine's coverage denominators.
 	DeadObjectives int `json:"deadObjectives"`
@@ -319,6 +337,10 @@ func NewEngine(c *codegen.Compiled, opts Options) (*Engine, error) {
 		last:       make([]uint8, c.Plan.NumBranches),
 		tupleBuf:   make([]uint64, len(c.Prog.In)),
 		findingIdx: map[string]int{},
+		fpLoop:     "fuzz.loop",
+	}
+	if opts.Label != "" {
+		e.fpLoop = "fuzz.loop:" + opts.Label
 	}
 	e.m.SetFuel(opts.Fuel)
 	for i, f := range c.Prog.Out {
@@ -437,6 +459,7 @@ func (e *Engine) updateLive() {
 		InjectedAdmitted: e.injectedAdmitted,
 		FieldHits:        e.mut.FieldHits(),
 		DeadObjectives:   e.c.Plan.DeadCount(),
+		LastCheckpoint:   e.lastCkptOK,
 	}
 	for _, f := range e.findings {
 		if int(f.Kind) < numFindingKinds {
@@ -689,6 +712,10 @@ func (e *Engine) Run() *Result {
 			stopped = true
 			break
 		}
+		// Chaos-build failpoint: an injected delay simulates a wedged shard
+		// (the supervisor's watchdog must catch it), an injected panic a
+		// crashing one. Compiles to nothing in production builds.
+		_ = faultinject.Eval(e.fpLoop)
 		e.drainInbox()
 		if e.opts.MaxExecs > 0 && e.execs >= e.opts.MaxExecs {
 			break
@@ -716,10 +743,8 @@ func (e *Engine) Run() *Result {
 		}
 	}
 
-	if e.opts.CheckpointPath != "" {
-		if err := e.WriteCheckpoint(e.opts.CheckpointPath); err != nil {
-			e.ckptErr = err
-		}
+	if e.opts.CheckpointPath != "" && !e.ckptOff.Load() {
+		e.flushCheckpoint()
 	}
 	e.samplePoint()
 	return &Result{

@@ -1,0 +1,64 @@
+//go:build faultinject
+
+package wal
+
+import (
+	"fmt"
+	"testing"
+
+	"cftcg/internal/faultinject"
+)
+
+// TestChaosShortWriteRecovered: an injected torn append fails the write,
+// leaves no garbage behind (the log truncates back to the record boundary),
+// and a reopen replays every intact record.
+func TestChaosShortWriteRecovered(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Set("wal.append.short", faultinject.Failpoint{Kind: faultinject.KindShortWrite, Times: 1})
+	if err := l.Append([]byte("torn-record")); err == nil {
+		t.Fatal("short write should surface as an append error")
+	}
+	if l.Err() == nil {
+		t.Fatal("sticky error should be set after a torn append")
+	}
+	// The in-place truncate healed the tail: the next append succeeds and
+	// the log stays readable.
+	if err := l.Append([]byte("post-torn")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 4 || string(recs[3]) != "post-torn" {
+		t.Fatalf("replay after torn append: %d records %q", len(recs), recs)
+	}
+}
+
+// TestChaosSyncFailureSticky: an injected fsync failure fails the append and
+// stays visible through Err — the daemon health plane's journal signal.
+func TestChaosSyncFailureSticky(t *testing.T) {
+	defer faultinject.Reset()
+	l := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	faultinject.Set("wal.sync", faultinject.Failpoint{Kind: faultinject.KindError, Msg: "io", Times: 1})
+	if err := l.Append([]byte("a")); err == nil {
+		t.Fatal("append should fail when fsync fails")
+	}
+	// Later appends succeed but the sticky error remains: the record that
+	// missed its fsync may not be durable.
+	if err := l.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if l.Err() == nil {
+		t.Fatal("sync failure should stay sticky")
+	}
+}

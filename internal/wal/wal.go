@@ -1,0 +1,407 @@
+// Package wal is a crash-durable append-only record log: the persistence
+// primitive under the campaign daemon's journal. Records are length-prefixed
+// and CRC-checked, appends are fsync'd, segments rotate at a size threshold,
+// and the reader tolerates a torn tail — the partial record a kill -9 or
+// power loss leaves at the end of the live segment — by stopping cleanly at
+// the last intact record. Mid-log corruption (an invalid record that is not
+// the tail of the final segment) is reported as an error rather than
+// silently skipped: that is data loss, not an interrupted write.
+//
+// On-disk layout: dir/<seq>.wal segment files, each a concatenation of
+// frames [len uint32le][crc32 uint32le][payload]. Segment creation, rotation
+// and removal fsync the directory so the namespace operations themselves
+// survive power loss, the same discipline the fuzzer's checkpoint rename
+// uses.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cftcg/internal/faultinject"
+)
+
+const (
+	headerSize = 8
+	// DefaultSegmentBytes is the rotation threshold when Options leaves it 0.
+	DefaultSegmentBytes = 4 << 20
+	// maxRecordBytes caps one record; a larger length prefix is treated as
+	// corruption (or a torn tail) rather than an allocation request.
+	maxRecordBytes = 64 << 20
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// NoSync skips the per-append fsync. Only for tests that do not need
+	// durability; a production journal must keep syncing.
+	NoSync bool
+}
+
+// Log is an append-only segmented record log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	seq    uint64
+	size   int64
+	err    error // sticky first append/sync failure (health plane)
+	closed bool
+}
+
+// Open opens (creating if needed) the log in dir and prepares it for
+// appending. The final segment's torn tail, if any, is truncated away so new
+// appends land after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.createSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	last := segs[len(segs)-1]
+	path := l.segPath(last)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	valid := scanValid(data)
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if int64(len(data)) != valid {
+		// Torn tail from a crash mid-append: drop it so the segment ends on
+		// a record boundary again.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.f, l.seq, l.size = f, last, valid
+	return l, nil
+}
+
+// Append frames, writes and (unless NoSync) fsyncs one record, rotating to a
+// new segment when the current one exceeds the size threshold. A failed
+// append attempts to truncate the partial frame back off the segment; the
+// first failure is remembered sticky in Err for the health plane.
+func (l *Log) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if len(rec) == 0 {
+		// An empty record's frame is indistinguishable from zero-filled
+		// disk blocks, which the reader must treat as a torn tail.
+		return errors.New("wal: empty record")
+	}
+	if err := faultinject.Eval("wal.append"); err != nil {
+		return l.fail(err)
+	}
+	frame := make([]byte, headerSize+len(rec))
+	binary.LittleEndian.PutUint32(frame, uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(rec))
+	copy(frame[headerSize:], rec)
+
+	if n, fired := faultinject.ShortWrite("wal.append.short", len(frame)); fired {
+		l.f.Write(frame[:n])
+		l.f.Sync()
+		return l.failTorn(fmt.Errorf("wal: short write: %d of %d bytes", n, len(frame)))
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		return l.failTorn(fmt.Errorf("wal: append: %w", err))
+	}
+	if !l.opts.NoSync {
+		if err := l.sync(); err != nil {
+			return l.fail(err)
+		}
+	}
+	l.size += int64(len(frame))
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.createSegment(l.seq + 1); err != nil {
+			return l.fail(err)
+		}
+	}
+	return nil
+}
+
+// fail records the first error sticky and returns this one.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+// failTorn handles a partial frame on disk: truncate back to the last record
+// boundary so later appends stay readable. If the truncate itself fails the
+// garbage tail stays, but the next Open's scanner stops at the first invalid
+// frame and truncates it then — nothing intact is lost either way.
+func (l *Log) failTorn(err error) error {
+	if terr := l.f.Truncate(l.size); terr == nil {
+		l.f.Seek(l.size, 0)
+		l.f.Sync()
+	}
+	return l.fail(err)
+}
+
+func (l *Log) sync() error {
+	if err := faultinject.Eval("wal.sync"); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Err returns the sticky first append/sync failure, if any — the signal the
+// daemon's health endpoint reports as "journal fsync failed". It stays set
+// until the process restarts: a record that missed its fsync may not be
+// durable even if later syncs succeed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Replay streams every intact record, oldest first, to fn. A torn tail on
+// the final segment is tolerated (the replay simply ends there); an invalid
+// record anywhere else is reported as corruption. Must not be called from
+// fn, and must not run concurrently with Append in the same lock scope —
+// the daemon replays once at boot before appending.
+func (l *Log) Replay(fn func(rec []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i, seq := range segs {
+		data, err := os.ReadFile(l.segPath(seq))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		off := int64(0)
+		for {
+			rec, n := nextRecord(data[off:])
+			if n == 0 {
+				break
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			off += n
+		}
+		if off != int64(len(data)) && i != len(segs)-1 {
+			return fmt.Errorf("wal: segment %s corrupt at offset %d", l.segPath(seq), off)
+		}
+	}
+	return nil
+}
+
+// Compact atomically replaces the log's history with a single snapshot
+// record: the snapshot is written as the first record of a fresh segment,
+// fsync'd, and only then are the older segments removed. A crash anywhere in
+// between leaves either the old history or the new snapshot (possibly plus
+// stale segments that the next Compact removes) — never neither.
+func (l *Log) Compact(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	old, err := l.segments()
+	if err != nil {
+		return err
+	}
+	if err := l.createSegment(l.seq + 1); err != nil {
+		return l.fail(err)
+	}
+	frame := make([]byte, headerSize+len(snapshot))
+	binary.LittleEndian.PutUint32(frame, uint32(len(snapshot)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(snapshot))
+	copy(frame[headerSize:], snapshot)
+	if _, err := l.f.Write(frame); err != nil {
+		return l.failTorn(fmt.Errorf("wal: compact: %w", err))
+	}
+	if err := l.sync(); err != nil {
+		return l.fail(err)
+	}
+	l.size += int64(len(frame))
+	for _, seq := range old {
+		if seq == l.seq {
+			continue
+		}
+		if err := os.Remove(l.segPath(seq)); err != nil {
+			return l.fail(fmt.Errorf("wal: compact: %w", err))
+		}
+	}
+	if err := SyncDir(l.dir); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// Segments reports how many segment files the log currently spans — the
+// daemon's compaction trigger.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return 0
+	}
+	return len(segs)
+}
+
+// Close syncs and closes the live segment. Further operations fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if !l.opts.NoSync {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// createSegment opens a new live segment and durably records its creation
+// (file fsync + directory fsync).
+func (l *Log) createSegment(seq uint64) error {
+	if err := faultinject.Eval("wal.rotate"); err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	f, err := os.OpenFile(l.segPath(seq), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	if l.f != nil {
+		if !l.opts.NoSync {
+			l.f.Sync()
+		}
+		l.f.Close()
+	}
+	l.f, l.seq, l.size = f, seq, 0
+	return nil
+}
+
+func (l *Log) segPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%09d.wal", seq))
+}
+
+// segments lists existing segment sequence numbers in ascending order.
+func (l *Log) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "%09d.wal", &seq); err == nil && fmt.Sprintf("%09d.wal", seq) == e.Name() {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// nextRecord decodes the first frame of data, returning the payload and the
+// frame length, or (nil, 0) when data starts with a torn or invalid frame.
+func nextRecord(data []byte) ([]byte, int64) {
+	if len(data) < headerSize {
+		return nil, 0
+	}
+	n := binary.LittleEndian.Uint32(data)
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if n == 0 || n > maxRecordBytes || int(n) > len(data)-headerSize {
+		return nil, 0
+	}
+	payload := data[headerSize : headerSize+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0
+	}
+	return payload, headerSize + int64(n)
+}
+
+// scanValid returns the offset just past the last intact record.
+func scanValid(data []byte) int64 {
+	off := int64(0)
+	for {
+		_, n := nextRecord(data[off:])
+		if n == 0 {
+			return off
+		}
+		off += n
+	}
+}
+
+// SyncDir fsyncs a directory so a preceding rename, create or remove in it
+// survives power loss — the missing half of the classic atomic-rename
+// pattern. Shared with the fuzzer's checkpoint writer.
+func SyncDir(dir string) error {
+	if dir == "" {
+		dir = "."
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -34,6 +34,12 @@ go test ./...
 echo "== go test -short -race =="
 go test -short -race ./...
 
+# Chaos suite: arm the build-tag-gated failpoints and run the
+# fault-injection tests (torn WAL writes, fsync failures, checkpoint
+# panics, hanging shards, kill-9 of a journaled daemon) under -race.
+echo "== chaos: go test -race -tags faultinject =="
+go test -race -tags faultinject ./internal/faultinject ./internal/wal ./internal/fuzz ./internal/campaign
+
 # Daemon smoke test: build cftcgd, bring it up on an ephemeral port, poll
 # the health and metrics planes, submit one campaign, verify a non-empty
 # status snapshot, then drain it with SIGTERM.
@@ -41,7 +47,18 @@ echo "== cftcgd smoke =="
 tmp=$(mktemp -d)
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 go build -o "$tmp/cftcgd" ./cmd/cftcgd
-"$tmp/cftcgd" -addr 127.0.0.1:0 >"$tmp/daemon.log" 2>&1 &
+
+# Failpoints must compile to no-ops in plain builds: the armed marker
+# string appears only in binaries built with -tags faultinject.
+echo "== faultinject no-op check =="
+go build -o "$tmp/cftcgd_armed" -tags faultinject ./cmd/cftcgd
+if grep -qa "faultinject: armed" "$tmp/cftcgd"; then
+	echo "plain build carries armed failpoints"; exit 1
+fi
+grep -qa "faultinject: armed" "$tmp/cftcgd_armed" \
+	|| { echo "armed build is missing the failpoint marker"; exit 1; }
+
+"$tmp/cftcgd" -addr 127.0.0.1:0 -journal "$tmp/journal" >"$tmp/daemon.log" 2>&1 &
 daemon_pid=$!
 
 # The daemon logs its resolved listen address; extract the ephemeral port.
@@ -74,5 +91,6 @@ curl -fsS "http://$addr/metrics" | grep -q 'cftcg_campaign_execs_total{campaign=
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "cftcgd drain failed"; cat "$tmp/daemon.log"; exit 1; }
 grep -q drained "$tmp/daemon.log" || { echo "cftcgd did not drain"; cat "$tmp/daemon.log"; exit 1; }
+ls "$tmp/journal"/*.wal >/dev/null 2>&1 || { echo "journal wrote no segments"; exit 1; }
 
 echo "OK"
