@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench chaos
+.PHONY: all build test race vet fmt lint check bench chaos mutate-smoke
 
 all: check
 
@@ -30,6 +30,16 @@ fmt:
 lint: fmt vet
 	$(GO) test -race ./internal/fuzz ./internal/campaign ./internal/coverage
 
+# mutate-smoke is the mutation-testing end-to-end gate: generate mutants
+# for a small model, kill them with a freshly fuzzed suite, and require a
+# mutation score in (0, 1] — some mutant killed, none double-counted.
+mutate-smoke:
+	@out=$$($(GO) run ./cmd/cftcg mutate SolarPV -budget 30 -execs 1500 -fuzz-budget 5s -json); \
+	score=$$(echo "$$out" | sed -n 's/.*"score": \([0-9.]*\),*/\1/p' | head -n1); \
+	echo "mutation score: $$score"; \
+	awk "BEGIN { exit !($$score > 0 && $$score <= 1) }" </dev/null \
+		|| { echo "mutate-smoke: score $$score outside (0, 1]"; exit 1; }
+
 # chaos arms the build-tag-gated failpoints (internal/faultinject) and runs
 # the fault-injection suites under the race detector: torn WAL writes, fsync
 # failures, checkpoint panics, hanging shards, and a kill-9 of a real
@@ -37,7 +47,7 @@ lint: fmt vet
 chaos:
 	$(GO) test -race -tags faultinject ./internal/faultinject ./internal/wal ./internal/fuzz ./internal/campaign
 
-check: fmt vet build test race chaos
+check: fmt vet build test race mutate-smoke chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

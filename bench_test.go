@@ -28,6 +28,7 @@ import (
 	"cftcg/internal/harness"
 	"cftcg/internal/interp"
 	"cftcg/internal/model"
+	"cftcg/internal/mutate"
 	"cftcg/internal/simcotest"
 	"cftcg/internal/sldv"
 	"cftcg/internal/vm"
@@ -367,6 +368,37 @@ func TestDeadAdjustedDirectedFuzzing(t *testing.T) {
 		t.Errorf("directed condition coverage %.1f%% below undirected %.1f%%",
 			directed.Condition(), undirected.Condition())
 	}
+}
+
+// BenchmarkMutantKill measures mutant-runner throughput: a fixed mutant
+// pool for CPUTask executed in VM lockstep against a freshly fuzzed suite.
+// The kill rate is attached as a custom metric alongside mutant-execs/s.
+func BenchmarkMutantKill(b *testing.B) {
+	e, err := benchmodels.Get("CPUTask")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := e.Build()
+	c, err := codegen.Compile(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	muts := mutate.Generate(c, m, mutate.Config{Limit: 40, Seed: 1})
+	if len(muts) == 0 {
+		b.Fatal("no mutants generated")
+	}
+	res := fuzz.MustEngine(c, fuzz.Options{Seed: 1, MaxExecs: 2000}).Run()
+	cases := make([][]byte, 0, len(res.Suite.Cases))
+	for _, tc := range res.Suite.Cases {
+		cases = append(cases, tc.Data)
+	}
+	b.ResetTimer()
+	var rep *mutate.Report
+	for i := 0; i < b.N; i++ {
+		rep = mutate.Run(c, muts, cases, mutate.RunConfig{})
+	}
+	b.ReportMetric(float64(rep.Execs)*float64(b.N)/b.Elapsed().Seconds(), "mutant-execs/s")
+	b.ReportMetric(rep.Summary.Score, "score")
 }
 
 // BenchmarkHarnessTable3 exercises the full harness path (what cmd/benchtab

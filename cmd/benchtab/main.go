@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchtab [flags] table2|table3|fig7|fig8|speed|cputask|all
+//	benchtab [flags] table2|table3|fig7|fig8|speed|cputask|mutation|all
 //
 // Examples:
 //
@@ -36,6 +36,7 @@ func main() {
 	models := flag.String("models", "", "comma-separated subset of models (default: all)")
 	points := flag.Int("points", 16, "figure 7 sample columns")
 	throttle := flag.Float64("sim-throttle", -1, "SimCoTest steps/sec cap (-1 = calibrated default, 0 = native interpreter speed; paper measured 6)")
+	mutants := flag.Int("mutants", 100, "mutant pool size per model (mutation command)")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -143,6 +144,16 @@ func main() {
 		rows, err := harness.RunAblation(entries, 20000, cfg.Seed, cfg.Repetitions)
 		check(err)
 		fmt.Print(harness.FormatAblation(rows))
+
+	case "mutation":
+		// Mutation score per tool: one shared mutant pool per model,
+		// every tool's generated suite graded against it (extends the
+		// Table 3 coverage comparison to fault detection).
+		mcfg := cfg
+		mcfg.MutantBudget = *mutants
+		tools := []harness.Tool{harness.ToolSLDV, harness.ToolSimCoTest, harness.ToolCFTCG, harness.ToolFuzzOnly}
+		results := run(entries, tools, mcfg)
+		fmt.Print(harness.FormatMutationTable(results, tools))
 
 	case "all":
 		tools := []harness.Tool{harness.ToolSLDV, harness.ToolSimCoTest, harness.ToolCFTCG, harness.ToolFuzzOnly}

@@ -11,6 +11,7 @@
 //	cftcg convert <model.slx> <case.bin>      print one case as CSV
 //	cftcg trace   <model.slx> <case.bin>      dump a case as a VCD waveform
 //	cftcg info    <model.slx>                 model statistics
+//	cftcg mutate  <model.slx> [flags]         mutation-test the generated suite
 //	cftcg export  <benchmark> <out.slx>       write a built-in benchmark
 //
 // `<model.slx>` may also name a built-in benchmark (e.g. SolarPV).
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -30,6 +32,7 @@ import (
 	"cftcg/internal/benchmodels"
 	"cftcg/internal/core"
 	"cftcg/internal/fuzz"
+	"cftcg/internal/mutate"
 )
 
 func main() {
@@ -285,6 +288,93 @@ func main() {
 			fmt.Printf("  +%d %-12s %s\n", f.Offset, f.Name, f.Type)
 		}
 
+	case "mutate":
+		fs := flag.NewFlagSet("mutate", flag.ExitOnError)
+		budget := fs.Int("budget", 100, "mutant pool cap (0 = every mutant)")
+		execs := fs.Int64("execs", 5000, "fuzz execution budget for suite generation")
+		wall := fs.Duration("fuzz-budget", 5*time.Second, "wall-clock cap on each fuzzing pass")
+		seed := fs.Int64("seed", 1, "random seed (mutant sampling and fuzzing)")
+		mode := fs.String("mode", "cftcg", "suite generator: cftcg | fuzz-only | no-iterdiff")
+		ops := fs.String("ops", "", "comma-separated operator filter ("+strings.Join(mutate.OperatorNames(), ",")+")")
+		fuel := fs.Int64("fuel", 0, "per-step mutant instruction budget (0 = default; exhaustion = killed-by-timeout)")
+		feedback := fs.Int("feedback", 0, "survivor-directed refuzzing rounds (mutation energy on surviving mutants' input fields)")
+		asJSON := fs.Bool("json", false, "print the full report as JSON")
+		check(fs.Parse(args[1:]))
+		sys := loadSystem(arg(args, 0))
+
+		opNames, err := mutate.FilterOperators(*ops)
+		check(err)
+		muts := mutate.Generate(sys.Compiled, sys.Model,
+			mutate.Config{Operators: opNames, Limit: *budget, Seed: *seed})
+		if len(muts) == 0 {
+			fail(fmt.Errorf("no mutants generated: mutation surface is empty under operators %q", *ops))
+		}
+
+		m, err := fuzz.ParseMode(*mode)
+		check(err)
+		fuzzOpts := fuzz.Options{Seed: *seed, Mode: m, MaxExecs: *execs, Budget: *wall}
+		res, err := sys.Fuzz(fuzzOpts)
+		check(err)
+		cases := make([][]byte, 0, len(res.Suite.Cases))
+		for _, tc := range res.Suite.Cases {
+			cases = append(cases, tc.Data)
+		}
+
+		rcfg := mutate.RunConfig{Fuel: *fuel}
+		rep := mutate.Run(sys.Compiled, muts, cases, rcfg)
+		if !*asJSON {
+			sc := mutate.Surface(sys.Compiled.Prog, sys.Model)
+			fmt.Printf("model %s: %d mutants (surface %d sites), suite of %d case(s)\n",
+				sys.Model.Name, len(muts), sc.Total(), len(cases))
+		}
+		for r := 1; r <= *feedback && rep.Summary.Survived > 0; r++ {
+			// Surviving mutants point back at the input fields that reach
+			// them; refuzz with that extra energy, seeded from the suite so
+			// far, and rescore on the widened suite.
+			o := fuzzOpts
+			o.Seed = *seed + int64(r)
+			o.MutantBias = rep.FieldBoost(len(sys.Compiled.Prog.In))
+			o.SeedInputs = cases
+			res, err := sys.Fuzz(o)
+			check(err)
+			for _, tc := range res.Suite.Cases {
+				cases = append(cases, tc.Data)
+			}
+			prev := rep.Summary
+			rep = mutate.Run(sys.Compiled, muts, cases, rcfg)
+			if !*asJSON {
+				fmt.Printf("feedback round %d: %d -> %d distinct kills (score %.3f -> %.3f)\n",
+					r, prev.Killed, rep.Summary.Killed, prev.Score, rep.Summary.Score)
+			}
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(rep, "", "  ")
+			check(err)
+			fmt.Println(string(out))
+			break
+		}
+		fmt.Println(rep.Summary.String())
+		opNamesSorted := make([]string, 0, len(rep.Summary.Operators))
+		for n := range rep.Summary.Operators {
+			opNamesSorted = append(opNamesSorted, n)
+		}
+		sort.Strings(opNamesSorted)
+		for _, n := range opNamesSorted {
+			st := rep.Summary.Operators[n]
+			fmt.Printf("  %-14s total %3d  killed %3d  survived %3d  duplicate %3d\n",
+				n, st.Total, st.Killed, st.Survived, st.Duplicates)
+		}
+		if rep.Summary.TimeoutKills+rep.Summary.CrashKills > 0 {
+			fmt.Printf("terminal kills: %d timeout, %d crash\n",
+				rep.Summary.TimeoutKills, rep.Summary.CrashKills)
+		}
+		if len(rep.Summary.Survivors) > 0 {
+			fmt.Println("surviving mutants (suite holes):")
+			for _, sv := range rep.Summary.Survivors {
+				fmt.Println("  " + sv)
+			}
+		}
+
 	case "export":
 		e, err := benchmodels.Get(arg(args, 0))
 		check(err)
@@ -323,7 +413,7 @@ func arg(args []string, i int) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cftcg emit|fuzz|analyze|cov|convert|trace|info|export ... (see package doc)")
+	fmt.Fprintln(os.Stderr, "usage: cftcg emit|fuzz|analyze|cov|convert|trace|info|mutate|export ... (see package doc)")
 	os.Exit(2)
 }
 

@@ -1,5 +1,6 @@
 // Command modelinfo prints Table-2-style statistics (branch and block
-// counts, tuple layout) for the built-in benchmarks or for a model file.
+// counts, tuple layout, mutation surface) for the built-in benchmarks or
+// for a model file.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@ import (
 	"cftcg/internal/benchmodels"
 	"cftcg/internal/codegen"
 	"cftcg/internal/core"
+	"cftcg/internal/mutate"
 )
 
 func main() {
@@ -21,8 +23,8 @@ func main() {
 		one(os.Args[1])
 		return
 	}
-	fmt.Printf("%-9s %-36s %8s %8s %8s %8s %6s\n",
-		"Model", "Functionality", "#Branch", "(paper)", "#Block", "(paper)", "Tuple")
+	fmt.Printf("%-9s %-36s %8s %8s %8s %8s %6s %8s\n",
+		"Model", "Functionality", "#Branch", "(paper)", "#Block", "(paper)", "Tuple", "#MutSite")
 	for _, e := range benchmodels.All() {
 		m := e.Build()
 		c, err := codegen.Compile(m)
@@ -30,9 +32,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "modelinfo: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-9s %-36s %8d %8d %8d %8d %5dB\n",
+		fmt.Printf("%-9s %-36s %8d %8d %8d %8d %5dB %8d\n",
 			e.Name, e.Functionality, c.Plan.NumBranches, e.PaperBranch,
-			m.Root.CountBlocks(), e.PaperBlock, c.Prog.TupleSize())
+			m.Root.CountBlocks(), e.PaperBlock, c.Prog.TupleSize(),
+			mutate.Surface(c.Prog, m).Total())
 	}
 }
 
@@ -76,4 +79,12 @@ func one(name string) {
 	for _, mode := range []byte{'a', 'b', 'c', 'd'} {
 		fmt.Printf("    (%c) %d\n", mode, byMode[mode])
 	}
+	sc := mutate.Surface(sys.Compiled.Prog, sys.Model)
+	fmt.Printf("  mutation surface: %d sites\n", sc.Total())
+	fmt.Printf("    relational ops:    %d\n", sc.RelOps)
+	fmt.Printf("    arithmetic ops:    %d\n", sc.ArithOps)
+	fmt.Printf("    constants:         %d\n", sc.Consts)
+	fmt.Printf("    logical ops:       %d\n", sc.LogicOps)
+	fmt.Printf("    stateflow guards:  %d\n", sc.Guards)
+	fmt.Printf("    priority swaps:    %d\n", sc.Priorities)
 }

@@ -21,6 +21,13 @@ import (
 type Influence struct {
 	NumFields int
 	Branch    []uint64 // per branch slot: mask of influencing input fields
+
+	// InitTaint/StepTaint give, per instruction of the respective function,
+	// the mask of input fields whose values can flow into that instruction's
+	// operands (data or control). The mutation-testing subsystem uses them
+	// to find which inputs could ever expose a mutation at a given pc.
+	InitTaint []uint64
+	StepTaint []uint64
 }
 
 func fieldBit(i int) uint64 {
@@ -32,11 +39,16 @@ func fieldBit(i int) uint64 {
 
 // ComputeInfluence builds the influence map for a lowered program.
 func ComputeInfluence(p *ir.Program, plan *coverage.Plan) *Influence {
-	inf := &Influence{NumFields: len(p.In), Branch: make([]uint64, plan.NumBranches)}
+	inf := &Influence{
+		NumFields: len(p.In),
+		Branch:    make([]uint64, plan.NumBranches),
+		InitTaint: make([]uint64, len(p.Init)),
+		StepTaint: make([]uint64, len(p.Step)),
+	}
 	regTaint := make([]uint64, p.NumRegs)
 	stTaint := make([]uint64, p.NumState)
 
-	scan := func(code []ir.Instr) {
+	scan := func(code []ir.Instr, opnd []uint64) {
 		ctrl := make([]uint64, len(code))
 		for pc := range code {
 			instr := &code[pc]
@@ -94,6 +106,30 @@ func ComputeInfluence(p *ir.Program, plan *coverage.Plan) *Influence {
 					regTaint[dst] |= m
 				}
 			}
+			// Per-instruction operand taint (overwritten each pass; masks
+			// only grow, so the final pass holds the settled value).
+			m := ctrl[pc]
+			switch instr.Op {
+			case ir.OpLoadIn:
+				m |= fieldBit(int(instr.Imm))
+			case ir.OpLoadState:
+				m |= stTaint[instr.Imm]
+			case ir.OpStoreState:
+				m |= regTaint[instr.A] | stTaint[instr.Imm]
+			case ir.OpJmpIf, ir.OpJmpIfNot:
+				m |= regTaint[instr.A]
+			case ir.OpCondProbe:
+				m |= regTaint[instr.B]
+			case ir.OpConst, ir.OpJmp, ir.OpHalt, ir.OpNop, ir.OpProbe:
+			default:
+				_, reads := operands(instr)
+				for _, r := range reads {
+					if r >= 0 && int(r) < len(regTaint) {
+						m |= regTaint[r]
+					}
+				}
+			}
+			opnd[pc] = m
 		}
 		// Probe resolution needs the settled ctrl array of this pass.
 		for pc := range code {
@@ -122,13 +158,40 @@ func ComputeInfluence(p *ir.Program, plan *coverage.Plan) *Influence {
 	// extra passes. Masks only grow, so convergence is guaranteed.
 	for pass := 0; pass < 8; pass++ {
 		before := checksum(regTaint, stTaint, inf.Branch)
-		scan(p.Init)
-		scan(p.Step)
+		scan(p.Init, inf.InitTaint)
+		scan(p.Step, inf.StepTaint)
 		if checksum(regTaint, stTaint, inf.Branch) == before {
 			break
 		}
 	}
 	return inf
+}
+
+// TaintAt returns the input-field mask for one instruction of the named
+// function ("init" or "step"); out-of-range queries return 0.
+func (inf *Influence) TaintAt(fn string, pc int) uint64 {
+	var t []uint64
+	switch fn {
+	case "init":
+		t = inf.InitTaint
+	case "step":
+		t = inf.StepTaint
+	}
+	if pc < 0 || pc >= len(t) {
+		return 0
+	}
+	return t[pc]
+}
+
+// FieldsOf expands a taint mask into input-field indexes.
+func (inf *Influence) FieldsOf(m uint64) []int {
+	var out []int
+	for i := 0; i < inf.NumFields; i++ {
+		if m&fieldBit(i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 func checksum(xs ...[]uint64) uint64 {

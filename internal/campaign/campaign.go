@@ -23,6 +23,7 @@ import (
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
 	"cftcg/internal/fuzz"
+	"cftcg/internal/mutate"
 )
 
 // Config describes a multi-shard campaign over one compiled model.
@@ -310,6 +311,11 @@ type Snapshot struct {
 
 	Running bool          `json:"running"`
 	Elapsed time.Duration `json:"elapsed"`
+
+	// Mutation is the post-campaign mutation-score summary, populated on
+	// the final snapshot of daemon jobs submitted with mutate: true (nil
+	// while fuzzing or when mutation scoring is off).
+	Mutation *mutate.Summary `json:"mutation,omitempty"`
 }
 
 // findingKindNames mirrors fuzz.FindingKind.String for by-kind counters.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cftcg/internal/coverage"
+	"cftcg/internal/mutate"
 	"cftcg/internal/wal"
 )
 
@@ -46,6 +47,7 @@ type journalEvent struct {
 	Stopped  bool             `json:"stopped,omitempty"`
 	Degraded bool             `json:"degraded,omitempty"`
 	Report   *coverage.Report `json:"report,omitempty"`
+	Mutation *mutate.Summary  `json:"mutation,omitempty"`
 
 	// snapshot (compaction)
 	NextID int          `json:"nextID,omitempty"`
@@ -62,6 +64,7 @@ type journalJob struct {
 	Stopped   bool             `json:"stopped,omitempty"`
 	Degraded  bool             `json:"degraded,omitempty"`
 	Report    *coverage.Report `json:"report,omitempty"`
+	Mutation  *mutate.Summary  `json:"mutation,omitempty"`
 	Submitted time.Time        `json:"submitted"`
 	Started   time.Time        `json:"started,omitempty"`
 	Finished  time.Time        `json:"finished,omitempty"`
@@ -169,6 +172,7 @@ func (j *journal) replay() ([]*journalJob, int, error) {
 			jj.Stopped = ev.Stopped
 			jj.Degraded = ev.Degraded
 			jj.Report = ev.Report
+			jj.Mutation = ev.Mutation
 			jj.Finished = ev.Time
 		case evCanceled:
 			jj := get(ev.Job)

@@ -71,6 +71,14 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE cftcg_dead_objectives gauge")
 	fmt.Fprintln(w, "# HELP cftcg_field_mutations_total Targeted value mutations per input field, summed over shards.")
 	fmt.Fprintln(w, "# TYPE cftcg_field_mutations_total counter")
+	fmt.Fprintln(w, "# HELP cftcg_mutants_total Mutants generated for the post-campaign mutation-score pass.")
+	fmt.Fprintln(w, "# TYPE cftcg_mutants_total gauge")
+	fmt.Fprintln(w, "# HELP cftcg_mutants_killed Distinct mutants the generated suite killed.")
+	fmt.Fprintln(w, "# TYPE cftcg_mutants_killed gauge")
+	fmt.Fprintln(w, "# HELP cftcg_mutants_survived Mutants the generated suite failed to detect.")
+	fmt.Fprintln(w, "# TYPE cftcg_mutants_survived gauge")
+	fmt.Fprintln(w, "# HELP cftcg_mutation_score Distinct kills over kills plus survivors.")
+	fmt.Fprintln(w, "# TYPE cftcg_mutation_score gauge")
 
 	for _, st := range statuses {
 		if st.Snapshot == nil {
@@ -104,6 +112,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 				name = snap.InputFields[f]
 			}
 			fmt.Fprintf(w, "cftcg_field_mutations_total{%s,field=%q} %d\n", base, name, n)
+		}
+		if ms := st.Mutation; ms != nil {
+			fmt.Fprintf(w, "cftcg_mutants_total{%s} %d\n", base, ms.Total)
+			fmt.Fprintf(w, "cftcg_mutants_killed{%s} %d\n", base, ms.Killed)
+			fmt.Fprintf(w, "cftcg_mutants_survived{%s} %d\n", base, ms.Survived)
+			fmt.Fprintf(w, "cftcg_mutation_score{%s} %g\n", base, ms.Score)
 		}
 	}
 }

@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMutationScoreJournalRoundTrip: a campaign submitted with mutate: true
+// finishes with a mutation summary on the job, the final snapshot, and the
+// metrics endpoint — and the summary survives a daemon crash-restart via
+// the journal.
+func TestMutationScoreJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Journal: dir}
+	srv, err := NewServerWithConfig(testResolver(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(Spec{Model: "Magic", MaxExecs: 500, Mutate: true, MutantBudget: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, srv, job.ID, StateDone)
+	ms := done.Mutation
+	if ms == nil {
+		t.Fatal("finished mutate job has no mutation summary")
+	}
+	if ms.Total == 0 || ms.Killed < 1 {
+		t.Fatalf("mutation summary %+v: want mutants generated and at least one kill", ms)
+	}
+	if ms.Score <= 0 || ms.Score > 1 {
+		t.Fatalf("mutation score %v outside (0, 1]", ms.Score)
+	}
+	if done.Snapshot == nil || done.Snapshot.Mutation == nil {
+		t.Fatal("final snapshot carries no mutation summary")
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, series := range []string{
+		"cftcg_mutants_total{", "cftcg_mutants_killed{",
+		"cftcg_mutants_survived{", "cftcg_mutation_score{",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics missing %s series:\n%s", series, body)
+		}
+	}
+	ts.Close()
+	drain(t, srv)
+
+	srv2, err := NewServerWithConfig(testResolver(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, srv2)
+	restored, ok := srv2.Job(job.ID)
+	if !ok {
+		t.Fatalf("job %d lost across restart", job.ID)
+	}
+	st := restored.status()
+	if st.State != StateDone || st.Mutation == nil {
+		t.Fatalf("restored job lost its mutation summary: %+v", st)
+	}
+	if st.Mutation.Total != ms.Total || st.Mutation.Killed != ms.Killed || st.Mutation.Score != ms.Score {
+		t.Fatalf("mutation summary changed across restart: %+v vs %+v", st.Mutation, ms)
+	}
+}

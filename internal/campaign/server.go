@@ -15,6 +15,7 @@ import (
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
 	"cftcg/internal/fuzz"
+	"cftcg/internal/mutate"
 )
 
 // ModelResolver turns a submitted model name into a compiled program. The
@@ -48,6 +49,13 @@ type Spec struct {
 	// Directed biases mutation toward input fields that influence the
 	// still-unsatisfied objectives (implies nothing in fuzz-only mode).
 	Directed bool `json:"directed,omitempty"`
+	// Mutate scores the generated suite against IR-level mutants once the
+	// campaign finishes; the summary lands on the final snapshot, the jobs
+	// API and the cftcg_mutants_* metrics. (Chart-level operators need the
+	// source model and are skipped — the daemon holds only compiled form.)
+	Mutate bool `json:"mutate,omitempty"`
+	// MutantBudget caps the mutant pool for the scoring pass (default 100).
+	MutantBudget int `json:"mutantBudget,omitempty"`
 }
 
 // options translates the wire spec into engine options.
@@ -121,6 +129,7 @@ type Job struct {
 	degraded bool // finished with at least one quarantined shard
 	report   *coverage.Report
 	final    *Snapshot
+	mutation *mutate.Summary
 	corpus   [][]byte // export snapshot once done
 }
 
@@ -139,6 +148,7 @@ type JobStatus struct {
 	Error     string           `json:"error,omitempty"`
 	Snapshot  *Snapshot        `json:"snapshot,omitempty"`
 	Report    *coverage.Report `json:"report,omitempty"`
+	Mutation  *mutate.Summary  `json:"mutation,omitempty"`
 }
 
 func (j *Job) status() JobStatus {
@@ -155,6 +165,7 @@ func (j *Job) status() JobStatus {
 		Requeued:  j.requeued,
 		Error:     j.err,
 		Report:    j.report,
+		Mutation:  j.mutation,
 	}
 	if j.campaign != nil && j.campaign.Degraded() {
 		st.Degraded = true
@@ -320,6 +331,7 @@ func restoreJob(jj *journalJob) *Job {
 		stopped:   jj.Stopped,
 		degraded:  jj.Degraded,
 		report:    jj.Report,
+		mutation:  jj.Mutation,
 	}
 	if job.state == StateQueued || job.state == StateRunning {
 		job.requeued = job.state == StateRunning || !job.started.IsZero()
@@ -409,9 +421,9 @@ func (s *Server) runJob(job *Job) {
 	s.journal.record(journalEvent{Type: evStarted, Job: job.ID})
 
 	res, err := cm.Run()
-	job.mu.Lock()
-	job.finished = time.Now()
 	if err != nil {
+		job.mu.Lock()
+		job.finished = time.Now()
 		job.state = StateFailed
 		job.err = err.Error()
 		job.mu.Unlock()
@@ -419,11 +431,21 @@ func (s *Server) runJob(job *Job) {
 		s.maybeCompact()
 		return
 	}
+	var msum *mutate.Summary
+	if job.Spec.Mutate {
+		// The scoring pass is part of the job's lifetime (still "running" in
+		// the API): the suite is final, the mutants are cheap to execute.
+		msum = mutationScore(compiled, job.Spec, res)
+	}
+	job.mu.Lock()
+	job.finished = time.Now()
 	job.state = StateDone
 	job.stopped = res.Stopped
 	job.degraded = cm.Degraded()
 	job.report = &res.Report
+	job.mutation = msum
 	snap := cm.Snapshot()
+	snap.Mutation = msum
 	job.final = &snap
 	job.corpus = cm.CorpusExport()
 	if res.CheckpointErr != nil {
@@ -432,10 +454,32 @@ func (s *Server) runJob(job *Job) {
 	ev := journalEvent{
 		Type: evFinished, Job: job.ID, State: StateDone,
 		Stopped: job.stopped, Degraded: job.degraded, Report: job.report, Error: job.err,
+		Mutation: msum,
 	}
 	job.mu.Unlock()
 	s.journal.record(ev)
 	s.maybeCompact()
+}
+
+// mutationScore runs the post-campaign mutation pass: an IR-level mutant
+// pool (the daemon holds only the compiled form, so chart operators are
+// skipped) scored against the campaign's generated suite.
+func mutationScore(c *codegen.Compiled, spec Spec, res *fuzz.Result) *mutate.Summary {
+	budget := spec.MutantBudget
+	if budget <= 0 {
+		budget = 100
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	muts := mutate.Generate(c, nil, mutate.Config{Limit: budget, Seed: seed})
+	var cases [][]byte
+	for _, tc := range res.Suite.Cases {
+		cases = append(cases, tc.Data)
+	}
+	rep := mutate.Run(c, muts, cases, mutate.RunConfig{})
+	return &rep.Summary
 }
 
 // observerFor journals a running campaign's shard lifecycle events.
@@ -480,6 +524,7 @@ func (s *Server) maybeCompact() {
 		table = append(table, journalJob{
 			ID: j.ID, Spec: j.Spec, State: j.state, Error: j.err,
 			Stopped: j.stopped, Degraded: j.degraded, Report: j.report,
+			Mutation:  j.mutation,
 			Submitted: j.Submitted, Started: j.started, Finished: j.finished,
 		})
 		j.mu.Unlock()

@@ -78,6 +78,12 @@ type Options struct {
 	// toward fields that can reach still-unsatisfied objectives. Ignored in
 	// fuzz-only mode (a generic fuzzer has no model knowledge).
 	Directed bool
+	// MutantBias adds per-input-field mutation energy from the
+	// mutation-testing feedback loop: field f's weight is raised by
+	// MutantBias[f] (typically surviving-mutant counts from
+	// mutate.Report.FieldBoost — fields that reach undetected fault sites).
+	// Entries must be non-negative; ignored in fuzz-only mode.
+	MutantBias []float64
 
 	// Fuel bounds the instructions one init/step call may execute before it
 	// is aborted and triaged as a Hang finding (0 = vm.DefaultFuel).
@@ -152,6 +158,11 @@ func (o *Options) Validate() error {
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("fuzz: negative CheckpointEvery %s", o.CheckpointEvery)
 	}
+	for i, b := range o.MutantBias {
+		if b < 0 {
+			return fmt.Errorf("fuzz: negative MutantBias[%d] = %v", i, b)
+		}
+	}
 	if o.MaxExecs == 0 && o.Budget == 0 && o.ResumeFrom == "" {
 		return errors.New("fuzz: no execution budget: set MaxExecs or Budget (or ResumeFrom to replay a checkpoint)")
 	}
@@ -212,6 +223,10 @@ type Engine struct {
 	// only in directed mode, where every coverage gain triggers a bias
 	// refresh toward the remaining unsatisfied objectives.
 	influence *analysis.Influence
+	// mutantBias is extra per-field energy from surviving mutants
+	// (Options.MutantBias); added on top of the influence weights (or a
+	// flat baseline when not directed) at every bias refresh.
+	mutantBias []float64
 
 	// incremental metric counters for cheap timeline points
 	isOutcome    []bool
@@ -357,8 +372,11 @@ func NewEngine(c *codegen.Compiled, opts Options) (*Engine, error) {
 	e.buildMask()
 	if opts.Directed && opts.Mode != ModeFuzzOnly {
 		e.influence = analysis.ComputeInfluence(c.Prog, c.Plan)
-		e.refreshBias()
 	}
+	if len(opts.MutantBias) > 0 && opts.Mode != ModeFuzzOnly {
+		e.mutantBias = opts.MutantBias
+	}
+	e.refreshBias()
 	if opts.ResumeFrom != "" {
 		cp, err := LoadCheckpoint(opts.ResumeFrom)
 		switch {
@@ -642,16 +660,32 @@ func (e *Engine) noteNewBranch(b int, newMasked, newAny *int) {
 }
 
 // refreshBias recomputes the mutator's field weights toward the objectives
-// still unsatisfied (and not statically dead). Called at engine start and
-// after every input that reaches new coverage.
+// still unsatisfied (and not statically dead), plus any mutation-testing
+// energy for fields that reach surviving mutants. Called at engine start
+// and after every input that reaches new coverage.
 func (e *Engine) refreshBias() {
-	if e.influence == nil {
+	if e.influence == nil && e.mutantBias == nil {
 		return
 	}
-	p := e.c.Plan
-	e.mut.SetFieldBias(e.influence.Weights(func(b int) bool {
-		return e.seen[b] == 0 && !p.IsDead(b)
-	}))
+	var w []float64
+	if e.influence != nil {
+		p := e.c.Plan
+		w = e.influence.Weights(func(b int) bool {
+			return e.seen[b] == 0 && !p.IsDead(b)
+		})
+	} else {
+		// Not directed: flat baseline, the mutant energy alone skews it.
+		w = make([]float64, len(e.c.Prog.In))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	for i, b := range e.mutantBias {
+		if i < len(w) {
+			w[i] += b
+		}
+	}
+	e.mut.SetFieldBias(w)
 }
 
 // Run executes the fuzzing campaign. It survives hanging, panicking and

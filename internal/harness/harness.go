@@ -15,8 +15,11 @@ import (
 	"cftcg/internal/codegen"
 	"cftcg/internal/coverage"
 	"cftcg/internal/fuzz"
+	"cftcg/internal/model"
+	"cftcg/internal/mutate"
 	"cftcg/internal/simcotest"
 	"cftcg/internal/sldv"
+	"cftcg/internal/testcase"
 )
 
 // Tool identifies a test-case generator under evaluation.
@@ -60,6 +63,16 @@ type Config struct {
 	FuzzMaxTuples int
 	// FuzzFuel bounds instructions per model step (0 = vm.DefaultFuel).
 	FuzzFuel int64
+	// FuzzMaxExecs additionally bounds the fuzz-based tools by execution
+	// count (0 = wall-clock Budget only). Deterministic comparisons — equal
+	// effort regardless of host speed — set this and a generous Budget.
+	FuzzMaxExecs int64
+
+	// MutantBudget enables mutation scoring: after the coverage runs, up to
+	// this many mutants are generated per model (once, shared by every
+	// tool) and each tool's suite is scored by how many it kills. 0
+	// disables the pass.
+	MutantBudget int
 
 	// Analyze runs the static dead-objective analysis on each compiled
 	// model, so branch slots proved unreachable drop out of every tool's
@@ -122,6 +135,31 @@ type ToolResult struct {
 	// the cell as degraded instead of aborting the evaluation.
 	Failed     bool
 	FailReason string
+
+	// Suite is the raw generated test suite (first repetition), kept so the
+	// mutation-scoring pass can replay it against the mutants.
+	Suite [][]byte `json:"-"`
+
+	// Mutation-score fields, populated when Config.MutantBudget > 0: the
+	// shared mutant pool size, this tool's distinct kills and survivors,
+	// and the score Killed/(Killed+Survived).
+	MutTotal    int
+	MutKilled   int
+	MutSurvived int
+	MutScore    float64
+}
+
+// suiteBytes flattens a tool's generated suite to the raw byte cases the
+// mutant runner replays.
+func suiteBytes(s *testcase.Suite) [][]byte {
+	if s == nil {
+		return nil
+	}
+	out := make([][]byte, 0, len(s.Cases))
+	for _, tc := range s.Cases {
+		out = append(out, tc.Data)
+	}
+	return out
 }
 
 // ModelResult aggregates all tools on one model.
@@ -150,6 +188,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 		return ToolResult{
 			Tool: tool, Decision: rep.Decision(), Condition: rep.Condition(), MCDC: rep.MCDC(),
 			Execs: res.Witnesses, Cases: len(res.Suite.Cases), Timeline: res.Timeline,
+			Suite: suiteBytes(res.Suite),
 		}, nil
 
 	case ToolSimCoTest:
@@ -166,6 +205,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 		return ToolResult{
 			Tool: tool, Decision: rep.Decision(), Condition: rep.Condition(), MCDC: rep.MCDC(),
 			Execs: res.Sims, Steps: res.Steps, Cases: len(res.Suite.Cases), Timeline: res.Timeline,
+			Suite: suiteBytes(res.Suite),
 		}, nil
 
 	case ToolCFTCG, ToolFuzzOnly:
@@ -178,6 +218,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 			Mode:      mode,
 			MaxTuples: cfg.FuzzMaxTuples,
 			Budget:    cfg.Budget,
+			MaxExecs:  cfg.FuzzMaxExecs,
 			Fuel:      cfg.FuzzFuel,
 			Directed:  cfg.Directed,
 		})
@@ -189,6 +230,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 		return ToolResult{
 			Tool: tool, Decision: rep.Decision(), Condition: rep.Condition(), MCDC: rep.MCDC(),
 			Execs: res.Execs, Steps: res.Steps, Cases: len(res.Suite.Cases), Timeline: res.Timeline,
+			Suite: suiteBytes(res.Suite),
 		}, nil
 
 	case ToolHybrid:
@@ -208,6 +250,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 			Mode:       fuzz.ModeModelOriented,
 			MaxTuples:  cfg.FuzzMaxTuples,
 			Budget:     cfg.Budget - cfg.Budget/4,
+			MaxExecs:   cfg.FuzzMaxExecs,
 			Fuel:       cfg.FuzzFuel,
 			SeedInputs: seedInputs,
 			Directed:   cfg.Directed,
@@ -221,6 +264,7 @@ func RunTool(c *codegen.Compiled, tool Tool, cfg Config, seed int64) (ToolResult
 			Tool: tool, Decision: rep.Decision(), Condition: rep.Condition(), MCDC: rep.MCDC(),
 			Execs: res.Execs + solverRes.Witnesses, Steps: res.Steps,
 			Cases: len(res.Suite.Cases) + len(solverRes.Suite.Cases), Timeline: res.Timeline,
+			Suite: append(suiteBytes(res.Suite), suiteBytes(solverRes.Suite)...),
 		}, nil
 	}
 	return ToolResult{}, fmt.Errorf("harness: unknown tool %q", tool)
@@ -318,7 +362,32 @@ func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error
 		}
 		mr.Results[tool] = acc
 	}
+	if cfg.MutantBudget > 0 {
+		scoreMutants(c, m, cfg, &mr)
+	}
 	return mr, nil
+}
+
+// scoreMutants runs the mutation-testing pass over one model row: a single
+// mutant pool (same mutants for every tool — the comparison is fair by
+// construction) scored against each non-failed tool's first-repetition
+// suite.
+func scoreMutants(c *codegen.Compiled, m *model.Model, cfg Config, mr *ModelResult) {
+	muts := mutate.Generate(c, m, mutate.Config{Limit: cfg.MutantBudget, Seed: cfg.Seed})
+	if len(muts) == 0 {
+		return
+	}
+	for tool, tr := range mr.Results {
+		if tr.Failed {
+			continue
+		}
+		rep := mutate.Run(c, muts, tr.Suite, mutate.RunConfig{})
+		tr.MutTotal = rep.Summary.Total
+		tr.MutKilled = rep.Summary.Killed
+		tr.MutSurvived = rep.Summary.Survived
+		tr.MutScore = rep.Summary.Score
+		mr.Results[tool] = tr
+	}
 }
 
 // RunAll evaluates the given tools across every benchmark model.
@@ -555,6 +624,35 @@ func FormatAblation(rows []AblationRow) string {
 			f.Decision, f.Condition, f.MCDC,
 			ni.Decision, ni.Condition, ni.MCDC,
 			nh.Decision, nh.Condition, nh.MCDC)
+	}
+	return w.String()
+}
+
+// FormatMutationTable renders the mutation score per tool next to Table 3's
+// coverage: same mutant pool per model, one row per tool — the external
+// check that higher coverage actually buys fault-detection power.
+func FormatMutationTable(results []ModelResult, tools []Tool) string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "%-9s %-10s | %8s %8s %8s | %7s\n",
+		"Model", "Tool", "Mutants", "Killed", "Survived", "Score")
+	line := strings.Repeat("-", 62)
+	fmt.Fprintln(&w, line)
+	for _, mr := range results {
+		for _, tool := range tools {
+			tr, ok := mr.Results[tool]
+			if !ok {
+				continue
+			}
+			if tr.Failed {
+				fmt.Fprintf(&w, "%-9s %-10s | %28s |\n",
+					mr.Entry.Name, tool, "FAILED: "+truncate(tr.FailReason, 20))
+				continue
+			}
+			fmt.Fprintf(&w, "%-9s %-10s | %8d %8d %8d | %6.1f%%\n",
+				mr.Entry.Name, tool, tr.MutTotal, tr.MutKilled, tr.MutSurvived,
+				100*tr.MutScore)
+		}
+		fmt.Fprintln(&w, line)
 	}
 	return w.String()
 }

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cftcg/internal/benchmodels"
+)
+
+// TestMutationScoreCFTCGBeatsFuzzOnly is the acceptance check for the
+// mutation-testing subsystem: at an identical execution budget, the suite
+// CFTCG generates kills at least as many mutants as the fuzz-only ablation
+// — coverage-guided model-aware fuzzing buys fault-detection power, not
+// just coverage numbers.
+func TestMutationScoreCFTCGBeatsFuzzOnly(t *testing.T) {
+	e, err := benchmodels.Get("CPUTask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Repetitions = 1
+	cfg.Seed = 1
+	cfg.Budget = 30 * time.Second // MaxExecs is the binding budget
+	cfg.FuzzMaxExecs = 4000
+	cfg.MutantBudget = 60
+	mr, err := RunModel(e, []Tool{ToolCFTCG, ToolFuzzOnly}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mr.Results[ToolCFTCG]
+	o := mr.Results[ToolFuzzOnly]
+	if f.Failed || o.Failed {
+		t.Fatalf("degraded cells: cftcg=%q fuzz-only=%q", f.FailReason, o.FailReason)
+	}
+	if f.MutTotal == 0 {
+		t.Fatalf("no mutants generated for %s", e.Name)
+	}
+	if f.MutKilled < 1 {
+		t.Fatalf("CFTCG killed no mutants: %+v", f)
+	}
+	if f.MutScore <= 0 || f.MutScore > 1 {
+		t.Fatalf("CFTCG mutation score %v outside (0, 1]", f.MutScore)
+	}
+	if f.MutScore < o.MutScore {
+		t.Fatalf("CFTCG score %.3f < fuzz-only score %.3f at equal budget (%d execs)",
+			f.MutScore, o.MutScore, cfg.FuzzMaxExecs)
+	}
+	t.Logf("mutation score: CFTCG %.3f (%d/%d) vs fuzz-only %.3f (%d/%d)",
+		f.MutScore, f.MutKilled, f.MutKilled+f.MutSurvived,
+		o.MutScore, o.MutKilled, o.MutKilled+o.MutSurvived)
+
+	table := FormatMutationTable([]ModelResult{mr}, []Tool{ToolCFTCG, ToolFuzzOnly})
+	if !strings.Contains(table, "CPUTask") || !strings.Contains(table, "Score") {
+		t.Fatalf("mutation table malformed:\n%s", table)
+	}
+}

@@ -1,0 +1,328 @@
+package mutate
+
+import (
+	"testing"
+
+	"cftcg/internal/analysis"
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+func compile(t *testing.T, m *model.Model) *codegen.Compiled {
+	t.Helper()
+	c, err := codegen.Compile(m)
+	if err != nil {
+		t.Fatalf("compile %s: %v", m.Name, err)
+	}
+	return c
+}
+
+// encodeCase serializes one step sequence of per-field raw values into the
+// byte-tuple stream the fuzz driver (and the mutant runner) consume.
+func encodeCase(p *ir.Program, steps [][]uint64) []byte {
+	data := make([]byte, len(steps)*p.TupleSize())
+	for si, in := range steps {
+		base := si * p.TupleSize()
+		for fi, f := range p.In {
+			model.PutRaw(f.Type, data[base+f.Offset:], in[fi])
+		}
+	}
+	return data
+}
+
+// thresholdModel is y = (x > 5) ? 1 : 0 — one relational site, one decision.
+func thresholdModel() *model.Model {
+	b := model.NewBuilder("Thresh")
+	x := b.Inport("x", model.Int32)
+	cmp := b.Rel(">", x, b.ConstT(model.Int32, 5))
+	y := b.Switch(cmp, b.ConstT(model.Int32, 1), b.ConstT(model.Int32, 0))
+	b.Outport("y", model.Int32, y)
+	return b.Model()
+}
+
+// rawIRVariantCount re-derives the number of IR mutants every operator
+// proposes (excluding statically-equivalent ones), bypassing Generate's
+// defensive validation filter.
+func rawIRVariantCount(c *codegen.Compiled) int {
+	n := 0
+	for _, code := range [][]ir.Instr{c.Prog.Init, c.Prog.Step} {
+		for pc := range code {
+			for _, op := range irOperators {
+				for _, v := range op.variants(code[pc], code, pc, c.Plan) {
+					if v.ins != code[pc] {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestOperatorsEmitValidMutants is the property test: on every benchmark
+// model, every mutant from every operator passes Program.Validate and the
+// strict verifier — and none is silently rejected by Generate's defensive
+// filter (the operators themselves must be shape-preserving).
+func TestOperatorsEmitValidMutants(t *testing.T) {
+	for _, e := range benchmodels.All() {
+		m := e.Build()
+		c := compile(t, m)
+		muts := Generate(c, m, Config{})
+		if len(muts) == 0 {
+			t.Fatalf("%s: no mutants generated", e.Name)
+		}
+		irCount := 0
+		for _, mu := range muts {
+			if err := mu.Prog.Validate(); err != nil {
+				t.Errorf("%s: mutant %s fails Validate: %v", e.Name, mu, err)
+			}
+			if err := analysis.VerifyStrict(mu.Prog, mu.Plan); err != nil {
+				t.Errorf("%s: mutant %s fails verifier: %v", e.Name, mu, err)
+			}
+			if mu.Func != "chart" {
+				irCount++
+				if mu.PC < 0 {
+					t.Errorf("%s: IR mutant %s has no PC", e.Name, mu)
+				}
+			}
+		}
+		if raw := rawIRVariantCount(c); irCount != raw {
+			t.Errorf("%s: %d of %d IR variants rejected by validation — operators must be shape-preserving",
+				e.Name, raw-irCount, raw)
+		}
+	}
+}
+
+// TestGenerateDeterministic: same model, same config — identical mutant list.
+func TestGenerateDeterministic(t *testing.T) {
+	e, err := benchmodels.Get("SolarPV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Build()
+	c := compile(t, m)
+	cfg := Config{Limit: 25, Seed: 7}
+	a := Generate(c, m, cfg)
+	b := Generate(c, m, cfg)
+	if len(a) != 25 || len(b) != 25 {
+		t.Fatalf("limit not applied: %d, %d mutants", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Site != b[i].Site || a[i].Operator != b[i].Operator {
+			t.Fatalf("mutant %d differs across runs: %q vs %q", i, a[i].Site, b[i].Site)
+		}
+	}
+}
+
+// TestKillAndDuplicate: on the threshold model with the single boundary
+// input x=5, both relop mutants of the one Gt site (negation Le, boundary
+// Ge) are killed with identical observable behavior — one distinct kill,
+// one duplicate, score 1.
+func TestKillAndDuplicate(t *testing.T) {
+	m := thresholdModel()
+	c := compile(t, m)
+	muts := Generate(c, m, Config{Operators: []string{"relop"}})
+	if len(muts) != 2 {
+		for _, mu := range muts {
+			t.Logf("mutant: %s", mu)
+		}
+		t.Fatalf("want 2 relop mutants of the single Gt site, got %d", len(muts))
+	}
+	for _, mu := range muts {
+		if len(mu.Fields) != 1 || mu.Fields[0] != 0 {
+			t.Errorf("mutant %s: influence fields = %v, want [0]", mu, mu.Fields)
+		}
+	}
+	suite := [][]byte{encodeCase(c.Prog, [][]uint64{{model.EncodeInt(model.Int32, 5)}})}
+	rep := Run(c, muts, suite, RunConfig{})
+	s := rep.Summary
+	if s.Total != 2 || s.Killed != 1 || s.Duplicates != 1 || s.Survived != 0 {
+		t.Fatalf("summary = %+v, want 1 distinct kill + 1 duplicate", s)
+	}
+	if s.Score != 1 {
+		t.Fatalf("score = %v, want 1 (duplicates excluded from denominator)", s.Score)
+	}
+	for _, r := range rep.Results {
+		if !r.Killed || r.KilledBy != 0 {
+			t.Errorf("result %+v: want killed by case 0", r)
+		}
+	}
+}
+
+// TestBoundarySurvivesWithoutEdgeInput: the boundary mutant Gt->Ge is only
+// observable at x==5; a suite that misses the edge kills the negation but
+// not the boundary, and FieldBoost routes the survivor back to field 0.
+func TestBoundarySurvivesWithoutEdgeInput(t *testing.T) {
+	b := model.NewBuilder("Thresh2")
+	x := b.Inport("x", model.Int32)
+	z := b.Inport("z", model.Int32)
+	cmp := b.Rel(">", x, b.ConstT(model.Int32, 5))
+	y := b.Switch(cmp, b.ConstT(model.Int32, 1), b.ConstT(model.Int32, 0))
+	b.Outport("y", model.Int32, y)
+	b.Outport("w", model.Int32, z)
+	m := b.Model()
+	c := compile(t, m)
+	muts := Generate(c, m, Config{Operators: []string{"relop"}})
+	if len(muts) != 2 {
+		t.Fatalf("want 2 relop mutants, got %d", len(muts))
+	}
+	suite := [][]byte{encodeCase(c.Prog, [][]uint64{
+		{model.EncodeInt(model.Int32, 9), 0},
+		{model.EncodeInt(model.Int32, 2), 0},
+	})}
+	rep := Run(c, muts, suite, RunConfig{})
+	s := rep.Summary
+	if s.Killed != 1 || s.Survived != 1 {
+		t.Fatalf("summary = %+v, want exactly the negation killed and the boundary surviving", s)
+	}
+	if s.Score <= 0 || s.Score >= 1 {
+		t.Fatalf("score = %v, want strictly between 0 and 1", s.Score)
+	}
+	boost := rep.FieldBoost(len(c.Prog.In))
+	if boost[0] < 1 || boost[1] != 0 {
+		t.Fatalf("FieldBoost = %v, want survivor energy on field 0 only", boost)
+	}
+	if sv := rep.Survivors(); len(sv) != 1 {
+		t.Fatalf("Survivors() = %d, want 1", len(sv))
+	}
+}
+
+// TestEquivalentMutantSurvives: max(x,x) lowers to a gt(x,x)-guarded select
+// of two identical values, so its relop mutants cannot change any output —
+// under the output-only oracle (NoProbe) they survive on every suite, while
+// the x+1 -> x-1 mutant is killed by every input. With the probe oracle
+// back on, the same mutants die as weak kills: the comparison feeds a
+// recorded decision.
+func TestEquivalentMutantSurvives(t *testing.T) {
+	b := model.NewBuilder("Equiv")
+	x := b.Inport("x", model.Int32)
+	b.Outport("m", model.Int32, b.MinMax("max", x, x))
+	b.Outport("y", model.Int32, b.Sum("++", x, b.ConstT(model.Int32, 1)))
+	m := b.Model()
+	c := compile(t, m)
+	muts := Generate(c, m, Config{Operators: []string{"relop", "arith"}})
+	if len(muts) < 3 {
+		t.Fatalf("want >=3 mutants (gt swaps + add swap), got %d", len(muts))
+	}
+	suite := [][]byte{encodeCase(c.Prog, [][]uint64{
+		{model.EncodeInt(model.Int32, 3)},
+		{model.EncodeInt(model.Int32, -7)},
+	})}
+	rep := Run(c, muts, suite, RunConfig{NoProbe: true})
+	s := rep.Summary
+	if s.Killed < 1 {
+		t.Fatalf("summary = %+v, want the Add->Sub mutant killed", s)
+	}
+	if s.Survived < 2 {
+		t.Fatalf("summary = %+v, want the equivalent gt(x,x) mutants surviving", s)
+	}
+	if s.Score <= 0 || s.Score >= 1 {
+		t.Fatalf("score = %v, want strictly between 0 and 1", s.Score)
+	}
+	if len(s.Survivors) == 0 {
+		t.Fatalf("summary lists no survivor sites")
+	}
+
+	// Probe oracle on: the surviving gt(x,x) mutants flip a recorded
+	// decision and die as weak kills.
+	rep2 := Run(c, muts, suite, RunConfig{})
+	if rep2.Summary.Survived >= s.Survived {
+		t.Fatalf("probe oracle killed nothing extra: %+v vs %+v", rep2.Summary, s)
+	}
+	probeKill := false
+	for _, r := range rep2.Results {
+		if r.Reason == "probe" {
+			probeKill = true
+		}
+	}
+	if !probeKill {
+		t.Fatalf("no weak (probe) kill recorded: %+v", rep2.Results)
+	}
+}
+
+// TestTimeoutKill: mutating the loop increment of a bounded while makes the
+// model spin to the iteration cap; with a small fuel budget the VM reports
+// a hang and the runner counts a killed-by-timeout.
+func TestTimeoutKill(t *testing.T) {
+	b := model.NewBuilder("Spin")
+	n := b.Inport("n", model.Int32)
+	ml := b.Matlab("looper", `
+input  int32 n;
+output int32 s = 0;
+while (s < n && s < 5) {
+    s = s + 1;
+}
+`, n)
+	b.Outport("s", model.Int32, ml.Out(0))
+	m := b.Model()
+	c := compile(t, m)
+	muts := Generate(c, m, Config{Operators: []string{"arith"}})
+	if len(muts) == 0 {
+		t.Fatalf("no arith mutants in the loop body")
+	}
+	suite := [][]byte{encodeCase(c.Prog, [][]uint64{{model.EncodeInt(model.Int32, 3)}})}
+	rep := Run(c, muts, suite, RunConfig{Fuel: 2000})
+	if rep.Summary.TimeoutKills < 1 {
+		t.Fatalf("summary = %+v, want at least one killed-by-timeout (s+1 -> s-1 spins)",
+			rep.Summary)
+	}
+	if rep.Execs == 0 || rep.Steps == 0 {
+		t.Fatalf("runner counters not populated: %+v", rep)
+	}
+}
+
+// TestGuardMutationsTokens checks the mlfunc guard tokenizer: every
+// relational occurrence yields one mutant, two-char tokens never decay to
+// their one-char prefix.
+func TestGuardMutationsTokens(t *testing.T) {
+	got := guardMutations("soc >= 80 && soc < 95")
+	if len(got) != 2 {
+		t.Fatalf("got %d mutations, want 2: %v", len(got), got)
+	}
+	if got[0].text != "soc > 80 && soc < 95" {
+		t.Errorf("first mutation = %q, want >= weakened to >", got[0].text)
+	}
+	if got[1].text != "soc >= 80 && soc <= 95" {
+		t.Errorf("second mutation = %q, want < widened to <=", got[1].text)
+	}
+	if g := guardMutations("a ~= 0"); len(g) != 1 || g[0].text != "a == 0" {
+		t.Errorf("~= swap: %v", g)
+	}
+	if g := guardMutations("a <= b"); len(g) != 1 || g[0].text != "a < b" {
+		t.Errorf("<= must mutate as one token: %v", g)
+	}
+	if g := guardMutations(""); g != nil {
+		t.Errorf("empty guard: %v", g)
+	}
+}
+
+// TestChartMutants: the CPUTask dispatcher chart yields guard and priority
+// mutants that recompile, carry their own plan, and are killable.
+func TestChartMutants(t *testing.T) {
+	e, err := benchmodels.Get("CPUTask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Build()
+	c := compile(t, m)
+	muts := Generate(c, m, Config{Operators: []string{"chart-guard", "chart-priority"}})
+	if len(muts) == 0 {
+		t.Fatalf("CPUTask: no chart mutants")
+	}
+	ops := map[string]int{}
+	for _, mu := range muts {
+		if mu.Func != "chart" || mu.PC != -1 {
+			t.Errorf("chart mutant %s: Func=%q PC=%d", mu, mu.Func, mu.PC)
+		}
+		ops[mu.Operator]++
+	}
+	if ops["chart-guard"] == 0 {
+		t.Errorf("no chart-guard mutants: %v", ops)
+	}
+	sc := Surface(c.Prog, m)
+	if sc.Guards < ops["chart-guard"] {
+		t.Errorf("surface guards %d < emitted guard mutants %d", sc.Guards, ops["chart-guard"])
+	}
+}

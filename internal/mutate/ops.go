@@ -1,0 +1,187 @@
+package mutate
+
+import (
+	"fmt"
+
+	"cftcg/internal/coverage"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// variant is one candidate replacement for a single instruction.
+type variant struct {
+	ins  ir.Instr
+	desc string
+}
+
+// irOp is one IR-level mutation operator: given an instruction (plus its
+// function body and plan for context), it proposes replacements. Every
+// replacement must keep the instruction's operand shape — same registers
+// read and written, same jump structure — so the mutant trivially preserves
+// Validate/verifier invariants and differs from the original in semantics
+// only.
+type irOp struct {
+	name     string
+	variants func(ins ir.Instr, code []ir.Instr, pc int, plan *coverage.Plan) []variant
+}
+
+var irOperators = []irOp{
+	{name: "relop", variants: relopVariants},
+	{name: "arith", variants: arithVariants},
+	{name: "const", variants: constVariants},
+	{name: "logic", variants: logicVariants},
+	{name: "guard", variants: guardVariants},
+}
+
+func swapOp(ins ir.Instr, to ir.Op, desc string) variant {
+	out := ins
+	out.Op = to
+	return variant{ins: out, desc: desc}
+}
+
+// relopVariants implements ROR in its two classic flavours: negation
+// (a<b -> a>=b) surfaces on almost every input, boundary (a<b -> a<=b)
+// only on the equality edge — the mutants coverage alone rarely kills.
+func relopVariants(ins ir.Instr, _ []ir.Instr, _ int, _ *coverage.Plan) []variant {
+	type pair struct{ neg, bound ir.Op }
+	table := map[ir.Op]pair{
+		ir.OpEq: {neg: ir.OpNe},
+		ir.OpNe: {neg: ir.OpEq},
+		ir.OpLt: {neg: ir.OpGe, bound: ir.OpLe},
+		ir.OpLe: {neg: ir.OpGt, bound: ir.OpLt},
+		ir.OpGt: {neg: ir.OpLe, bound: ir.OpGe},
+		ir.OpGe: {neg: ir.OpLt, bound: ir.OpGt},
+	}
+	p, ok := table[ins.Op]
+	if !ok {
+		return nil
+	}
+	out := []variant{swapOp(ins, p.neg, fmt.Sprintf("%v -> %v (negation)", ins.Op, p.neg))}
+	if p.bound != 0 {
+		out = append(out, swapOp(ins, p.bound, fmt.Sprintf("%v -> %v (boundary)", ins.Op, p.bound)))
+	}
+	return out
+}
+
+func arithVariants(ins ir.Instr, _ []ir.Instr, _ int, _ *coverage.Plan) []variant {
+	table := map[ir.Op]ir.Op{
+		ir.OpAdd: ir.OpSub, ir.OpSub: ir.OpAdd,
+		ir.OpMul: ir.OpDiv, ir.OpDiv: ir.OpMul,
+		ir.OpMin: ir.OpMax, ir.OpMax: ir.OpMin,
+	}
+	to, ok := table[ins.Op]
+	if !ok {
+		return nil
+	}
+	return []variant{swapOp(ins, to, fmt.Sprintf("%v -> %v", ins.Op, to))}
+}
+
+// constVariants perturbs OpConst immediates: off-by-one in the constant's
+// own type, sign flip, and the zero boundary. Bool constants flip.
+func constVariants(ins ir.Instr, _ []ir.Instr, _ int, _ *coverage.Plan) []variant {
+	if ins.Op != ir.OpConst {
+		return nil
+	}
+	reimm := func(raw uint64, desc string) variant {
+		out := ins
+		out.Imm = raw
+		return variant{ins: out, desc: desc}
+	}
+	dt := ins.DT
+	if dt == model.Bool {
+		return []variant{reimm(ins.Imm^1, "const flip")}
+	}
+	if dt.IsFloat() {
+		v := model.DecodeFloat(dt, ins.Imm)
+		out := []variant{
+			reimm(model.EncodeFloat(dt, v+1), fmt.Sprintf("const %g -> %g", v, v+1)),
+			reimm(model.EncodeFloat(dt, v-1), fmt.Sprintf("const %g -> %g", v, v-1)),
+		}
+		if v != 0 {
+			out = append(out,
+				reimm(model.EncodeFloat(dt, -v), fmt.Sprintf("const %g -> %g (sign)", v, -v)),
+				reimm(model.EncodeFloat(dt, 0), fmt.Sprintf("const %g -> 0 (boundary)", v)))
+		}
+		return out
+	}
+	v := model.DecodeInt(dt, ins.Imm)
+	out := []variant{
+		reimm(model.EncodeInt(dt, v+1), fmt.Sprintf("const %d -> %d", v, v+1)),
+		reimm(model.EncodeInt(dt, v-1), fmt.Sprintf("const %d -> %d", v, v-1)),
+	}
+	if v != 0 {
+		out = append(out,
+			reimm(model.EncodeInt(dt, -v), fmt.Sprintf("const %d -> %d (sign)", v, -v)),
+			reimm(model.EncodeInt(dt, 0), fmt.Sprintf("const %d -> 0 (boundary)", v)))
+	}
+	return out
+}
+
+// logicVariants swaps the logical connectives; OpNot degenerates to OpMov
+// (negation dropped — operands are already normalized booleans).
+func logicVariants(ins ir.Instr, _ []ir.Instr, _ int, _ *coverage.Plan) []variant {
+	switch ins.Op {
+	case ir.OpAnd:
+		return []variant{swapOp(ins, ir.OpOr, "and -> or")}
+	case ir.OpOr:
+		return []variant{swapOp(ins, ir.OpAnd, "or -> and")}
+	case ir.OpXor:
+		return []variant{swapOp(ins, ir.OpOr, "xor -> or")}
+	case ir.OpNot:
+		return []variant{swapOp(ins, ir.OpMov, "not dropped")}
+	}
+	return nil
+}
+
+// guardVariants flips the polarity of conditional jumps that guard a
+// Stateflow transition decision: the lowered form of "transition fires iff
+// guard holds" becomes "fires iff guard fails" — the IR-level shadow of a
+// chart guard negation, available even when only the compiled form exists.
+func guardVariants(ins ir.Instr, code []ir.Instr, pc int, plan *coverage.Plan) []variant {
+	var to ir.Op
+	switch ins.Op {
+	case ir.OpJmpIf:
+		to = ir.OpJmpIfNot
+	case ir.OpJmpIfNot:
+		to = ir.OpJmpIf
+	default:
+		return nil
+	}
+	if plan == nil || !guardsTransition(code, pc, plan) {
+		return nil
+	}
+	return []variant{swapOp(ins, to, fmt.Sprintf("%v -> %v (transition guard)", ins.Op, to))}
+}
+
+// guardsTransition reports whether the region controlled by the conditional
+// jump at pc contains a Transition-kind decision probe. The region is the
+// span between the jump and its target, widened through the targets of jumps
+// inside it (the same merge over-approximation the influence pass uses).
+func guardsTransition(code []ir.Instr, pc int, plan *coverage.Plan) bool {
+	lo, hi := pc, int(code[pc].Imm)
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	for q := lo; q < hi && q < len(code); q++ {
+		switch code[q].Op {
+		case ir.OpJmp, ir.OpJmpIf, ir.OpJmpIfNot:
+			if t := int(code[q].Imm); t > hi {
+				hi = t
+			}
+		}
+	}
+	if hi > len(code) {
+		hi = len(code)
+	}
+	for q := lo; q < hi; q++ {
+		if code[q].Op != ir.OpProbe {
+			continue
+		}
+		if d := int(code[q].A); d >= 0 && d < len(plan.Decisions) {
+			if plan.Decisions[d].Kind == coverage.KindTransition {
+				return true
+			}
+		}
+	}
+	return false
+}

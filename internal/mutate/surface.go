@@ -1,0 +1,60 @@
+package mutate
+
+import (
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// SurfaceCounts itemizes a model's mutation surface — how many sites each
+// operator class can patch. cmd/modelinfo prints it so mutant budgets are
+// explainable: a model with 40 relational sites and a 20-mutant budget is
+// visibly undersampled.
+type SurfaceCounts struct {
+	RelOps     int `json:"relops"`
+	ArithOps   int `json:"arithOps"`
+	Consts     int `json:"consts"`
+	LogicOps   int `json:"logicOps"`
+	Guards     int `json:"guards"`     // Stateflow guard relational tokens
+	Priorities int `json:"priorities"` // states with a mutable priority order
+}
+
+// Total sums every mutable site class.
+func (s SurfaceCounts) Total() int {
+	return s.RelOps + s.ArithOps + s.Consts + s.LogicOps + s.Guards + s.Priorities
+}
+
+// Surface counts the mutable sites of a program and (optionally) its model;
+// m may be nil, skipping the chart-level counts.
+func Surface(p *ir.Program, m *model.Model) SurfaceCounts {
+	var s SurfaceCounts
+	count := func(code []ir.Instr) {
+		for _, ins := range code {
+			switch ins.Op {
+			case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+				s.RelOps++
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMin, ir.OpMax:
+				s.ArithOps++
+			case ir.OpConst:
+				s.Consts++
+			case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot:
+				s.LogicOps++
+			}
+		}
+	}
+	count(p.Init)
+	count(p.Step)
+	if m != nil {
+		for _, cs := range findCharts(&m.Root, nil) {
+			for _, t := range cs.chart.Transitions {
+				s.Guards += len(guardMutations(t.Guard))
+			}
+			for _, st := range cs.chart.States {
+				from := cs.chart.From(st.Name)
+				if len(from) >= 2 && from[0].Priority != from[1].Priority {
+					s.Priorities++
+				}
+			}
+		}
+	}
+	return s
+}

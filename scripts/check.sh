@@ -34,6 +34,16 @@ go test ./...
 echo "== go test -short -race =="
 go test -short -race ./...
 
+# Mutation-testing smoke: generate mutants for a small model, kill them
+# with a freshly fuzzed suite, and require a mutation score in (0, 1].
+# Same gate as `make mutate-smoke`.
+echo "== mutate smoke =="
+out=$(go run ./cmd/cftcg mutate SolarPV -budget 30 -execs 1500 -fuzz-budget 5s -json)
+score=$(echo "$out" | sed -n 's/.*"score": \([0-9.]*\),*/\1/p' | head -n1)
+echo "mutation score: $score"
+awk "BEGIN { exit !($score > 0 && $score <= 1) }" </dev/null \
+	|| { echo "mutate-smoke: score $score outside (0, 1]"; exit 1; }
+
 # Chaos suite: arm the build-tag-gated failpoints and run the
 # fault-injection tests (torn WAL writes, fsync failures, checkpoint
 # panics, hanging shards, kill-9 of a journaled daemon) under -race.
