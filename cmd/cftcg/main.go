@@ -6,7 +6,7 @@
 //
 //	cftcg emit    <model.slx>                 print generated fuzz code
 //	cftcg fuzz    <model.slx> [flags]         run fuzzing, write the suite
-//	cftcg analyze <model.slx> [-json]         static analysis: lint, dead objectives, influence
+//	cftcg analyze <model.slx> [flags]         static analysis: lint, dead objectives, influence, -stats/-opt
 //	cftcg cov     <model.slx> <case.bin>...   replay cases, report coverage
 //	cftcg convert <model.slx> <case.bin>      print one case as CSV
 //	cftcg trace   <model.slx> <case.bin>      dump a case as a VCD waveform
@@ -33,6 +33,7 @@ import (
 	"cftcg/internal/core"
 	"cftcg/internal/fuzz"
 	"cftcg/internal/mutate"
+	"cftcg/internal/opt"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func main() {
 		resume := fs.String("resume", "", "checkpoint file to resume the campaign from")
 		analyze := fs.Bool("analyze", false, "statically prove objectives dead; exclude them from the report denominators")
 		directed := fs.Bool("directed", false, "bias mutation toward input fields that influence unsatisfied objectives")
+		optimize := fs.Bool("opt", false, "fuzz the optimized program (translation-validated: identical outputs and probe streams)")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
 
@@ -95,7 +97,7 @@ func main() {
 			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
 			Fuel:           *fuel,
 			CheckpointPath: *checkpoint, CheckpointEvery: *ckptEvery, ResumeFrom: *resume,
-			Directed: *directed,
+			Directed: *directed, Optimize: *optimize,
 		}
 		if *seeds != "" {
 			seedInputs, err := core.ReadSeedDir(*seeds)
@@ -162,8 +164,23 @@ func main() {
 		}
 
 	case "analyze":
-		asJSON := len(args) > 1 && args[1] == "-json"
+		fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "print the full report as JSON")
+		stats := fs.Bool("stats", false, "print per-program instruction counts and dead-store totals")
+		doOpt := fs.Bool("opt", false, "run the translation-validated optimizer; with -stats, report the before/after delta")
+		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
+
+		// With -opt the rest of the report (lint, dead objectives,
+		// influence) describes the *optimized* program — the pipeline's
+		// contract is that it stays verifier-clean and observably
+		// equivalent, so the analysis remains valid for the original.
+		var ostats *opt.Stats
+		if *doOpt {
+			var err error
+			ostats, err = sys.Compiled.Optimize(opt.Config{})
+			check(err)
+		}
 		prog, plan := sys.Compiled.Prog, sys.Compiled.Plan
 		issues := analysis.Verify(prog, plan)
 		dead := analysis.DeadObjectives(prog, plan)
@@ -182,19 +199,34 @@ func main() {
 			return names
 		}
 
-		if asJSON {
+		if *asJSON {
 			type branchRow struct {
 				Branch int      `json:"branch"`
 				Label  string   `json:"label"`
 				Dead   bool     `json:"dead"`
 				Fields []string `json:"fields,omitempty"`
 			}
+			type statsRow struct {
+				InitInstrs int        `json:"initInstrs"`
+				StepInstrs int        `json:"stepInstrs"`
+				DeadStores int        `json:"deadStores"`
+				Opt        *opt.Stats `json:"opt,omitempty"`
+			}
 			report := struct {
 				Model    string      `json:"model"`
 				Issues   []string    `json:"issues,omitempty"`
 				Dead     []int       `json:"deadObjectives,omitempty"`
+				Stats    *statsRow   `json:"stats,omitempty"`
 				Branches []branchRow `json:"branches"`
 			}{Model: prog.Name, Dead: dead}
+			if *stats {
+				report.Stats = &statsRow{
+					InitInstrs: len(prog.Init),
+					StepInstrs: len(prog.Step),
+					DeadStores: opt.DeadStoreWarnings(prog, plan),
+					Opt:        ostats,
+				}
+			}
 			for _, is := range issues {
 				report.Issues = append(report.Issues, is.String())
 			}
@@ -211,6 +243,16 @@ func main() {
 		}
 
 		fmt.Printf("model %s: %d branch slots\n\n", prog.Name, plan.NumBranches)
+		if *stats {
+			fmt.Printf("instructions: init %d, step %d (total %d)\n",
+				len(prog.Init), len(prog.Step), len(prog.Init)+len(prog.Step))
+			fmt.Printf("dead stores: %d warning(s)\n", opt.DeadStoreWarnings(prog, plan))
+			if ostats != nil {
+				fmt.Printf("optimized: %s\n", ostats.Summary())
+				fmt.Println("optimization validated: every pass translation-validated, final program lockstep-equivalent")
+			}
+			fmt.Println()
+		}
 		if len(issues) == 0 {
 			fmt.Println("lint: clean")
 		} else {
@@ -298,6 +340,7 @@ func main() {
 		ops := fs.String("ops", "", "comma-separated operator filter ("+strings.Join(mutate.OperatorNames(), ",")+")")
 		fuel := fs.Int64("fuel", 0, "per-step mutant instruction budget (0 = default; exhaustion = killed-by-timeout)")
 		feedback := fs.Int("feedback", 0, "survivor-directed refuzzing rounds (mutation energy on surviving mutants' input fields)")
+		noProve := fs.Bool("no-prove", false, "skip the equivalence prover; proven-unkillable mutants then count as survivors")
 		asJSON := fs.Bool("json", false, "print the full report as JSON")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
@@ -320,7 +363,7 @@ func main() {
 			cases = append(cases, tc.Data)
 		}
 
-		rcfg := mutate.RunConfig{Fuel: *fuel}
+		rcfg := mutate.RunConfig{Fuel: *fuel, NoProve: *noProve}
 		rep := mutate.Run(sys.Compiled, muts, cases, rcfg)
 		if !*asJSON {
 			sc := mutate.Surface(sys.Compiled.Prog, sys.Model)
@@ -361,8 +404,8 @@ func main() {
 		sort.Strings(opNamesSorted)
 		for _, n := range opNamesSorted {
 			st := rep.Summary.Operators[n]
-			fmt.Printf("  %-14s total %3d  killed %3d  survived %3d  duplicate %3d\n",
-				n, st.Total, st.Killed, st.Survived, st.Duplicates)
+			fmt.Printf("  %-14s total %3d  killed %3d  survived %3d  equivalent %3d  duplicate %3d\n",
+				n, st.Total, st.Killed, st.Survived, st.Equivalent, st.Duplicates)
 		}
 		if rep.Summary.TimeoutKills+rep.Summary.CrashKills > 0 {
 			fmt.Printf("terminal kills: %d timeout, %d crash\n",

@@ -16,6 +16,7 @@ import (
 	"cftcg/internal/codegen"
 	"cftcg/internal/core"
 	"cftcg/internal/mutate"
+	"cftcg/internal/opt"
 )
 
 func main() {
@@ -23,8 +24,9 @@ func main() {
 		one(os.Args[1])
 		return
 	}
-	fmt.Printf("%-9s %-36s %8s %8s %8s %8s %6s %8s\n",
-		"Model", "Functionality", "#Branch", "(paper)", "#Block", "(paper)", "Tuple", "#MutSite")
+	fmt.Printf("%-9s %-36s %8s %8s %8s %8s %6s %8s %7s %7s %7s\n",
+		"Model", "Functionality", "#Branch", "(paper)", "#Block", "(paper)", "Tuple", "#MutSite",
+		"#Instr", "DeadSt", "#Opt")
 	for _, e := range benchmodels.All() {
 		m := e.Build()
 		c, err := codegen.Compile(m)
@@ -32,10 +34,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "modelinfo: %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-9s %-36s %8d %8d %8d %8d %5dB %8d\n",
+		instrs := len(c.Prog.Init) + len(c.Prog.Step)
+		deadStores := opt.DeadStoreWarnings(c.Prog, c.Plan)
+		optp, _, err := opt.Optimize(c.Prog, c.Plan, opt.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %s: optimize: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-9s %-36s %8d %8d %8d %8d %5dB %8d %7d %7d %7d\n",
 			e.Name, e.Functionality, c.Plan.NumBranches, e.PaperBranch,
 			m.Root.CountBlocks(), e.PaperBlock, c.Prog.TupleSize(),
-			mutate.Surface(c.Prog, m).Total())
+			mutate.Surface(c.Prog, m).Total(),
+			instrs, deadStores, len(optp.Init)+len(optp.Step))
 	}
 }
 
@@ -62,10 +72,19 @@ func one(name string) {
 		sys = s
 	}
 	plan := sys.Compiled.Plan
+	prog := sys.Compiled.Prog
 	fmt.Printf("model %s\n", sys.Model.Name)
 	fmt.Printf("  blocks:     %d\n", sys.Model.Root.CountBlocks())
 	fmt.Printf("  branches:   %d (%d decisions, %d conditions)\n",
 		plan.NumBranches, len(plan.Decisions), len(plan.Conds))
+	fmt.Printf("  instructions: init %d, step %d (total %d); dead stores: %d\n",
+		len(prog.Init), len(prog.Step), len(prog.Init)+len(prog.Step),
+		opt.DeadStoreWarnings(prog, plan))
+	if _, st, err := opt.Optimize(prog, plan, opt.Config{}); err == nil {
+		fmt.Printf("  optimized:  %s\n", st.Summary())
+	} else {
+		fmt.Fprintf(os.Stderr, "modelinfo: optimize: %v\n", err)
+	}
 	lay := sys.Layout()
 	fmt.Printf("  tuple:      %d bytes\n", lay.TupleSize)
 	for _, f := range lay.Fields {

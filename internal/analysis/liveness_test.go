@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/analysis"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+func TestLivenessBasics(t *testing.T) {
+	i8 := model.Int8
+	p := tinyProg(3, 0, nil, []ir.Instr{
+		i(ir.OpConst, i8, 0, 0, 0, 1),    // r0 live until pc 2
+		i(ir.OpConst, i8, 1, 0, 0, 2),    // r1 dead: overwritten at pc 3
+		i(ir.OpMov, i8, 2, 0, 0, 0),      // reads r0
+		i(ir.OpConst, i8, 1, 0, 0, 3),    // redefines r1
+		i(ir.OpStoreOut, i8, 0, 1, 0, 0), // reads r1
+	})
+	lv := analysis.ComputeLiveness(p)
+	if lo := lv.LiveOut("step", 0); lo == nil || !lo[0] {
+		t.Errorf("r0 should be live out of pc 0: %v", lo)
+	}
+	if lo := lv.LiveOut("step", 1); lo == nil || lo[1] {
+		t.Errorf("r1 should be dead out of pc 1 (overwritten at pc 3): %v", lo)
+	}
+	if lo := lv.LiveOut("step", 3); lo == nil || !lo[1] {
+		t.Errorf("r1 should be live out of pc 3: %v", lo)
+	}
+}
+
+// TestLivenessCrossCall: a register defined at the end of step and consumed
+// at the top of the NEXT step call must be exit-live, because machine
+// registers persist across calls.
+func TestLivenessCrossCall(t *testing.T) {
+	i8 := model.Int8
+	p := tinyProg(2, 0, []ir.Instr{
+		i(ir.OpConst, i8, 0, 0, 0, 0),
+	}, []ir.Instr{
+		i(ir.OpStoreOut, i8, 0, 0, 0, 0), // reads r0 from init or prior step
+		i(ir.OpConst, i8, 0, 0, 0, 9),    // feeds the next call
+	})
+	lv := analysis.ComputeLiveness(p)
+	if lo := lv.LiveOut("step", 1); lo == nil || !lo[0] {
+		t.Errorf("cross-call register not exit-live: %v", lo)
+	}
+	if !lv.StepEntryLive()[0] {
+		t.Error("r0 not live at step entry")
+	}
+	if lo := lv.LiveOut("init", 0); lo == nil || !lo[0] {
+		t.Errorf("init def feeding step not live at init exit: %v", lo)
+	}
+}
+
+// TestVerifierDeadStoreTwoTier: the verifier must distinguish a register
+// that is never read anywhere from one that is read, but only via a
+// redefinition that kills this particular store.
+func TestVerifierDeadStoreTwoTier(t *testing.T) {
+	i8 := model.Int8
+	p := tinyProg(2, 0, nil, []ir.Instr{
+		i(ir.OpConst, i8, 0, 0, 0, 1), // killed: r0 redefined before the read
+		i(ir.OpConst, i8, 1, 0, 0, 2), // truly dead: r1 never read
+		i(ir.OpConst, i8, 0, 0, 0, 3),
+		i(ir.OpStoreOut, i8, 0, 0, 0, 0),
+	})
+	issues := analysis.Verify(p, tinyPlan())
+	var killed, dead bool
+	for _, is := range issues {
+		if is.Func == "step" && is.PC == 0 &&
+			strings.Contains(is.Msg, "dead store: r0 is overwritten before it can be read") {
+			killed = true
+		}
+		if is.Func == "step" && is.PC == 1 &&
+			strings.Contains(is.Msg, "dead store: r1 is never read") {
+			dead = true
+		}
+	}
+	if !killed {
+		t.Errorf("control-flow-killed store not flagged with the overwrite message: %v", issues)
+	}
+	if !dead {
+		t.Errorf("never-read store not flagged with the never-read message: %v", issues)
+	}
+}
+
+// TestVerifierNoDeadStoreOnBranchLive: a store that is dead on one branch
+// path but read on another is NOT dead and must not be flagged.
+func TestVerifierNoDeadStoreOnBranchLive(t *testing.T) {
+	i8 := model.Int8
+	p := tinyProg(3, 0, nil, []ir.Instr{
+		i(ir.OpConst, i8, 0, 0, 0, 1),    // read on the fall-through path only
+		i(ir.OpConst, i8, 1, 0, 0, 1),    // branch condition
+		i(ir.OpJmpIf, 0, 0, 1, 0, 4),     // skip the read on one path
+		i(ir.OpStoreOut, i8, 0, 0, 0, 0), // reads r0
+		i(ir.OpConst, i8, 2, 0, 0, 0),
+		i(ir.OpStoreOut, i8, 0, 2, 0, 0),
+	})
+	for _, is := range analysis.Verify(p, tinyPlan()) {
+		if is.Func == "step" && is.PC == 0 && strings.Contains(is.Msg, "dead store") {
+			t.Errorf("branch-live store wrongly flagged: %v", is)
+		}
+	}
+}

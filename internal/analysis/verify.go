@@ -52,6 +52,7 @@ func (i Issue) String() string {
 func Verify(p *ir.Program, plan *coverage.Plan) []Issue {
 	v := &verifier{p: p, plan: plan}
 	v.readRegs = globalReads(p)
+	v.live = ComputeLiveness(p)
 	initDefs := v.verifyFunc("init", p.Init, make([]bool, p.NumRegs))
 	// Registers persist in the machine between the init and step calls, so
 	// step may rely on any register init is guaranteed to have written.
@@ -79,6 +80,7 @@ type verifier struct {
 	p        *ir.Program
 	plan     *coverage.Plan
 	readRegs []bool // registers read anywhere in init+step
+	live     *Liveness
 	issues   []Issue
 }
 
@@ -216,10 +218,18 @@ func (v *verifier) verifyFunc(fn string, code []ir.Instr, entryDefs []bool) []bo
 				v.errf(fn, pc, "%s: invalid operation type %d", ins.Op, ins.DT)
 			}
 		}
-		// Dead-store lint: a defined register no instruction ever reads and
-		// whose value never leaves through a store.
-		if dst >= 0 && dst < n && !v.readRegs[dst] {
-			v.warnf(fn, pc, "dead store: r%d is never read", dst)
+		// Dead-store lint, in two precision tiers. A register no instruction
+		// ever reads is trivially dead; a register that is read somewhere but
+		// not live after this definition (every path overwrites it before any
+		// read) is a store killed by control flow. The liveness analysis
+		// distinguishes the two so the optimizer's DSE transform and this
+		// lint agree on what "dead" means.
+		if dst >= 0 && dst < n {
+			if !v.readRegs[dst] {
+				v.warnf(fn, pc, "dead store: r%d is never read", dst)
+			} else if lo := v.live.LiveOut(fn, pc); lo != nil && int(dst) < len(lo) && !lo[dst] {
+				v.warnf(fn, pc, "dead store: r%d is overwritten before it can be read", dst)
+			}
 		}
 	}
 

@@ -77,6 +77,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE cftcg_mutants_killed gauge")
 	fmt.Fprintln(w, "# HELP cftcg_mutants_survived Mutants the generated suite failed to detect.")
 	fmt.Fprintln(w, "# TYPE cftcg_mutants_survived gauge")
+	fmt.Fprintln(w, "# HELP cftcg_mutants_equivalent Surviving mutants proven observably equivalent (unkillable), excluded from the score denominator.")
+	fmt.Fprintln(w, "# TYPE cftcg_mutants_equivalent gauge")
 	fmt.Fprintln(w, "# HELP cftcg_mutation_score Distinct kills over kills plus survivors.")
 	fmt.Fprintln(w, "# TYPE cftcg_mutation_score gauge")
 
@@ -117,6 +119,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "cftcg_mutants_total{%s} %d\n", base, ms.Total)
 			fmt.Fprintf(w, "cftcg_mutants_killed{%s} %d\n", base, ms.Killed)
 			fmt.Fprintf(w, "cftcg_mutants_survived{%s} %d\n", base, ms.Survived)
+			fmt.Fprintf(w, "cftcg_mutants_equivalent{%s} %d\n", base, ms.Equivalent)
 			fmt.Fprintf(w, "cftcg_mutation_score{%s} %g\n", base, ms.Score)
 		}
 	}

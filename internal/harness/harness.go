@@ -17,6 +17,7 @@ import (
 	"cftcg/internal/fuzz"
 	"cftcg/internal/model"
 	"cftcg/internal/mutate"
+	"cftcg/internal/opt"
 	"cftcg/internal/simcotest"
 	"cftcg/internal/sldv"
 	"cftcg/internal/testcase"
@@ -78,6 +79,11 @@ type Config struct {
 	// model, so branch slots proved unreachable drop out of every tool's
 	// coverage denominators (Table 3 then reports achievable objectives).
 	Analyze bool
+	// Optimize runs the translation-validated IR optimization pipeline on
+	// each compiled model before the tools execute it, so every tool (and
+	// the mutation pass, whose mutants derive from the optimized program)
+	// runs the code campaigns actually ship.
+	Optimize bool
 	// Directed biases CFTCG/Hybrid mutation toward input fields that the
 	// influence map links to still-unsatisfied objectives.
 	Directed bool
@@ -141,12 +147,14 @@ type ToolResult struct {
 	Suite [][]byte `json:"-"`
 
 	// Mutation-score fields, populated when Config.MutantBudget > 0: the
-	// shared mutant pool size, this tool's distinct kills and survivors,
-	// and the score Killed/(Killed+Survived).
-	MutTotal    int
-	MutKilled   int
-	MutSurvived int
-	MutScore    float64
+	// shared mutant pool size, this tool's distinct kills, survivors, and
+	// proven-equivalent (unkillable) mutants, and the corrected score
+	// Killed/(Killed+Survived) — equivalent mutants leave the denominator.
+	MutTotal      int
+	MutKilled     int
+	MutSurvived   int
+	MutEquivalent int
+	MutScore      float64
 }
 
 // suiteBytes flattens a tool's generated suite to the raw byte cases the
@@ -320,6 +328,11 @@ func RunModel(e benchmodels.Entry, tools []Tool, cfg Config) (ModelResult, error
 	if cfg.Analyze {
 		analysis.MarkDead(c.Prog, c.Plan)
 	}
+	if cfg.Optimize {
+		if _, err := c.Optimize(opt.Config{Seed: cfg.Seed}); err != nil {
+			return ModelResult{}, fmt.Errorf("harness: %s: %w", e.Name, err)
+		}
+	}
 	mr := ModelResult{
 		Entry:    e,
 		Branches: c.Plan.NumBranches,
@@ -385,6 +398,7 @@ func scoreMutants(c *codegen.Compiled, m *model.Model, cfg Config, mr *ModelResu
 		tr.MutTotal = rep.Summary.Total
 		tr.MutKilled = rep.Summary.Killed
 		tr.MutSurvived = rep.Summary.Survived
+		tr.MutEquivalent = rep.Summary.Equivalent
 		tr.MutScore = rep.Summary.Score
 		mr.Results[tool] = tr
 	}
@@ -633,9 +647,9 @@ func FormatAblation(rows []AblationRow) string {
 // check that higher coverage actually buys fault-detection power.
 func FormatMutationTable(results []ModelResult, tools []Tool) string {
 	var w strings.Builder
-	fmt.Fprintf(&w, "%-9s %-10s | %8s %8s %8s | %7s\n",
-		"Model", "Tool", "Mutants", "Killed", "Survived", "Score")
-	line := strings.Repeat("-", 62)
+	fmt.Fprintf(&w, "%-9s %-10s | %8s %8s %8s %8s | %7s\n",
+		"Model", "Tool", "Mutants", "Killed", "Survived", "Equiv", "Score")
+	line := strings.Repeat("-", 71)
 	fmt.Fprintln(&w, line)
 	for _, mr := range results {
 		for _, tool := range tools {
@@ -644,13 +658,13 @@ func FormatMutationTable(results []ModelResult, tools []Tool) string {
 				continue
 			}
 			if tr.Failed {
-				fmt.Fprintf(&w, "%-9s %-10s | %28s |\n",
+				fmt.Fprintf(&w, "%-9s %-10s | %37s |\n",
 					mr.Entry.Name, tool, "FAILED: "+truncate(tr.FailReason, 20))
 				continue
 			}
-			fmt.Fprintf(&w, "%-9s %-10s | %8d %8d %8d | %6.1f%%\n",
+			fmt.Fprintf(&w, "%-9s %-10s | %8d %8d %8d %8d | %6.1f%%\n",
 				mr.Entry.Name, tool, tr.MutTotal, tr.MutKilled, tr.MutSurvived,
-				100*tr.MutScore)
+				tr.MutEquivalent, 100*tr.MutScore)
 		}
 		fmt.Fprintln(&w, line)
 	}

@@ -326,3 +326,63 @@ func TestChartMutants(t *testing.T) {
 		t.Errorf("surface guards %d < emitted guard mutants %d", sc.Guards, ops["chart-guard"])
 	}
 }
+
+// TestEquivalentMutantReclassified is the end-to-end acceptance check for
+// the equivalence prover: across the benchmark suite, at least one mutant
+// that survives the test suite is proven observably equivalent and leaves
+// the score denominator, and the corrected score is consistent with the
+// counts. The NoProve run over the same mutants pins the baseline.
+func TestEquivalentMutantReclassified(t *testing.T) {
+	suiteFor := func(c *codegen.Compiled) [][]byte {
+		var steps [][]uint64
+		for s := 0; s < 6; s++ {
+			in := make([]uint64, len(c.Prog.In))
+			for fi, f := range c.Prog.In {
+				in[fi] = model.EncodeInt(f.Type, int64(s*7+fi))
+			}
+			steps = append(steps, in)
+		}
+		return [][]byte{encodeCase(c.Prog, steps)}
+	}
+	foundEq := false
+	for _, e := range benchmodels.All() {
+		m := e.Build()
+		c := compile(t, m)
+		muts := Generate(c, m, Config{Limit: 120, Seed: 3})
+		suite := suiteFor(c)
+		rep := Run(c, muts, suite, RunConfig{})
+		base := Run(c, muts, suite, RunConfig{NoProve: true})
+		s, bs := rep.Summary, base.Summary
+		if s.Killed != bs.Killed || s.Survived+s.Equivalent != bs.Survived {
+			t.Errorf("%s: proving changed kill counts: %+v vs %+v", e.Name, s, bs)
+		}
+		if s.Equivalent > 0 {
+			foundEq = true
+			if s.Score < bs.Score {
+				t.Errorf("%s: removing unkillable mutants lowered the score: %v -> %v",
+					e.Name, bs.Score, s.Score)
+			}
+			eqResults := 0
+			for _, r := range rep.Results {
+				if r.Equivalent {
+					eqResults++
+					if r.Killed {
+						t.Errorf("%s: mutant %d both killed and equivalent", e.Name, r.ID)
+					}
+				}
+			}
+			if eqResults != s.Equivalent {
+				t.Errorf("%s: summary says %d equivalent, results say %d",
+					e.Name, s.Equivalent, eqResults)
+			}
+			if len(rep.Survivors()) != s.Survived {
+				t.Errorf("%s: Survivors() = %d, summary Survived = %d",
+					e.Name, len(rep.Survivors()), s.Survived)
+			}
+			t.Logf("%s: %s", e.Name, s.String())
+		}
+	}
+	if !foundEq {
+		t.Fatal("no benchmark mutant was proven equivalent — the prover never fired")
+	}
+}

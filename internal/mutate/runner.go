@@ -7,6 +7,7 @@ import (
 	"cftcg/internal/coverage"
 	"cftcg/internal/ir"
 	"cftcg/internal/model"
+	"cftcg/internal/opt"
 	"cftcg/internal/vm"
 )
 
@@ -40,6 +41,9 @@ type RunConfig struct {
 	// NoProbe disables the probe-stream (weak kill) oracle, leaving output
 	// divergence only.
 	NoProbe bool
+	// NoProve disables the equivalent-mutant proof pass: every survivor
+	// stays in the score denominator, matching the pre-prover behavior.
+	NoProve bool
 }
 
 // DefaultMutantFuel bounds one mutant init/step call.
@@ -59,6 +63,10 @@ type Result struct {
 	// Duplicate marks a killed mutant whose observable behavior matches an
 	// earlier kill; duplicates are excluded from the score.
 	Duplicate bool `json:"duplicate,omitempty"`
+	// Equivalent marks a surviving mutant the abstract product prover showed
+	// to be observably identical to the original (outputs and probes): no
+	// test suite can ever kill it, so it leaves the score denominator.
+	Equivalent bool `json:"equivalent,omitempty"`
 }
 
 // OpStat aggregates per-operator outcomes.
@@ -67,6 +75,7 @@ type OpStat struct {
 	Killed     int `json:"killed"`
 	Survived   int `json:"survived"`
 	Duplicates int `json:"duplicates"`
+	Equivalent int `json:"equivalent,omitempty"`
 }
 
 // Summary is the mutation-score report attached to campaign snapshots and
@@ -76,6 +85,7 @@ type Summary struct {
 	Killed       int               `json:"killed"` // distinct kills
 	Survived     int               `json:"survived"`
 	Duplicates   int               `json:"duplicates"`
+	Equivalent   int               `json:"equivalent,omitempty"` // proven unkillable
 	TimeoutKills int               `json:"timeoutKills,omitempty"`
 	CrashKills   int               `json:"crashKills,omitempty"`
 	Score        float64           `json:"score"` // Killed / (Killed + Survived)
@@ -271,12 +281,38 @@ func Run(c *codegen.Compiled, muts []*Mutant, cases [][]byte, cfg RunConfig) *Re
 		default:
 			st.Survived++
 			rep.Summary.Survived++
-			if len(rep.Summary.Survivors) < 16 {
-				rep.Summary.Survivors = append(rep.Summary.Survivors, mu.String())
-			}
 		}
 		rep.Summary.Operators[mu.Operator] = st
 	}
+
+	// Equivalence pass: a survivor the product prover shows observably
+	// identical to the original is unkillable by construction — no suite,
+	// however good, can detect it. Reclassify it out of the denominator so
+	// the score measures detection of detectable faults.
+	if !cfg.NoProve {
+		for mi, mu := range muts {
+			res := &rep.Results[mi]
+			if res.Killed || !mu.SamePlan {
+				continue // plan-changing mutants have no common probe space
+			}
+			if opt.ProveMutantEquivalent(c.Prog, mu.Prog, mu.Func, mu.PC) {
+				res.Equivalent = true
+				rep.Summary.Survived--
+				rep.Summary.Equivalent++
+				st := rep.Summary.Operators[mu.Operator]
+				st.Survived--
+				st.Equivalent++
+				rep.Summary.Operators[mu.Operator] = st
+			}
+		}
+	}
+	for mi, mu := range muts {
+		res := &rep.Results[mi]
+		if !res.Killed && !res.Equivalent && len(rep.Summary.Survivors) < 16 {
+			rep.Summary.Survivors = append(rep.Summary.Survivors, mu.String())
+		}
+	}
+
 	if d := rep.Summary.Killed + rep.Summary.Survived; d > 0 {
 		rep.Summary.Score = float64(rep.Summary.Killed) / float64(d)
 	}
@@ -399,7 +435,7 @@ func equalWords(a, b []uint64) bool {
 func (r *Report) FieldBoost(numFields int) []float64 {
 	w := make([]float64, numFields)
 	for i, res := range r.Results {
-		if res.Killed || i >= len(r.mutants) {
+		if res.Killed || res.Equivalent || i >= len(r.mutants) {
 			continue
 		}
 		for _, f := range r.mutants[i].Fields {
@@ -416,7 +452,7 @@ func (r *Report) FieldBoost(numFields int) []float64 {
 func (r *Report) Survivors() []*Mutant {
 	var out []*Mutant
 	for i, res := range r.Results {
-		if !res.Killed && i < len(r.mutants) {
+		if !res.Killed && !res.Equivalent && i < len(r.mutants) {
 			out = append(out, r.mutants[i])
 		}
 	}
@@ -425,6 +461,10 @@ func (r *Report) Survivors() []*Mutant {
 
 // String renders the summary for terminals.
 func (s *Summary) String() string {
-	return fmt.Sprintf("mutants: %d, killed: %d (+%d duplicate), survived: %d, score: %.3f",
-		s.Total, s.Killed, s.Duplicates, s.Survived, s.Score)
+	eq := ""
+	if s.Equivalent > 0 {
+		eq = fmt.Sprintf(", equivalent: %d", s.Equivalent)
+	}
+	return fmt.Sprintf("mutants: %d, killed: %d (+%d duplicate), survived: %d%s, score: %.3f",
+		s.Total, s.Killed, s.Duplicates, s.Survived, eq, s.Score)
 }

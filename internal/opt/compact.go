@@ -1,0 +1,78 @@
+package opt
+
+import "cftcg/internal/ir"
+
+// compact removes every OpNop the passes left behind, remapping jump targets
+// and loop-site addresses and shrinking NumRegs to the registers actually
+// referenced. It is the one transformation that changes the program's shape,
+// so the pipeline validates it with lockstep execution rather than the
+// product proof. Returns the number of instructions removed.
+func compact(p *ir.Program) int {
+	removed := 0
+	maps := map[string][]int{}
+	keptJump := map[string][]bool{}
+	for _, fn := range funcsOf(p) {
+		code := fn.code
+		newPC := make([]int, len(code)+1)
+		kept := make([]bool, len(code))
+		cnt := 0
+		for pc := range code {
+			newPC[pc] = cnt
+			if code[pc].Op != ir.OpNop {
+				kept[pc] = true
+				cnt++
+			}
+		}
+		newPC[len(code)] = cnt
+		removed += len(code) - cnt
+		out := make([]ir.Instr, 0, cnt)
+		for pc := range code {
+			if !kept[pc] {
+				continue
+			}
+			ins := code[pc]
+			switch ins.Op {
+			case ir.OpJmp, ir.OpJmpIf, ir.OpJmpIfNot:
+				ins.Imm = uint64(newPC[ins.Imm])
+			}
+			out = append(out, ins)
+		}
+		if fn.name == "init" {
+			p.Init = out
+		} else {
+			p.Step = out
+		}
+		maps[fn.name] = newPC
+		keptJump[fn.name] = kept
+	}
+
+	// Loop sites survive only if their backward jump did.
+	var sites []ir.LoopSite
+	for _, s := range p.LoopSites {
+		m, k := maps[s.Func], keptJump[s.Func]
+		if m == nil || s.PC < 0 || s.PC >= len(k) || !k[s.PC] {
+			continue
+		}
+		s.PC = m[s.PC]
+		sites = append(sites, s)
+	}
+	p.LoopSites = sites
+
+	// Shrink the register file to what is still referenced.
+	maxReg := int32(-1)
+	for _, fn := range funcsOf(p) {
+		for pc := range fn.code {
+			dst, reads := irOperands(&fn.code[pc])
+			if dst > maxReg {
+				maxReg = dst
+			}
+			for _, r := range reads {
+				if r > maxReg {
+					maxReg = r
+				}
+			}
+		}
+	}
+	p.NumRegs = int(maxReg) + 1
+	return removed
+}

@@ -1,0 +1,100 @@
+package opt
+
+import (
+	"testing"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+func TestProveEquivIdenticalPrograms(t *testing.T) {
+	i32 := model.Int32
+	mk := func() *ir.Program {
+		return tprog(3, 1, []ir.Instr{
+			ti(ir.OpConst, i32, 0, 0, 0, 0),
+			ti(ir.OpStoreState, i32, 0, 0, 0, 0),
+		}, []ir.Instr{
+			ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+			ti(ir.OpLoadState, i32, 1, 0, 0, 0),
+			ti(ir.OpAdd, i32, 2, 0, 1, 0),
+			ti(ir.OpStoreState, i32, 0, 2, 0, 0),
+			ti(ir.OpStoreOut, i32, 0, 2, 0, 0),
+		})
+	}
+	if !ProveEquiv(mk(), mk()) {
+		t.Fatal("identical programs not proved equivalent")
+	}
+}
+
+func TestProveEquivDeadStoreRemoval(t *testing.T) {
+	i32 := model.Int32
+	orig := tprog(3, 0, nil, []ir.Instr{
+		ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+		ti(ir.OpConst, i32, 1, 0, 0, 7), // dead: r1 never read
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+	mod := cloneProg(orig)
+	mod.Step[1] = ir.Instr{Op: ir.OpNop}
+	if !ProveEquiv(orig, mod) {
+		t.Fatal("dead-store removal not proved equivalent")
+	}
+}
+
+func TestProveEquivRejectsOutputChange(t *testing.T) {
+	i32 := model.Int32
+	orig := tprog(2, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 7),
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+	mod := cloneProg(orig)
+	mod.Step[0].Imm = 8
+	if ProveEquiv(orig, mod) {
+		t.Fatal("output-changing rewrite proved equivalent")
+	}
+}
+
+func TestProveEquivRejectsProbeChange(t *testing.T) {
+	i32 := model.Int32
+	mk := func(outcome int32) *ir.Program {
+		return tprog(2, 0, nil, []ir.Instr{
+			ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+			{Op: ir.OpProbe, A: 0, B: outcome},
+			ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+		})
+	}
+	if ProveEquiv(mk(0), mk(1)) {
+		t.Fatal("probe-changing rewrite proved equivalent")
+	}
+}
+
+func TestProveMutantEquivalentQuickRules(t *testing.T) {
+	i32 := model.Int32
+	orig := tprog(3, 0, nil, []ir.Instr{
+		ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+		ti(ir.OpConst, i32, 1, 0, 0, 7), // dead store
+		ti(ir.OpJmp, 0, 0, 0, 0, 4),
+		ti(ir.OpConst, i32, 0, 0, 0, 9), // unreachable
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+
+	// Mutating a dead store is output-equivalent.
+	mut := cloneProg(orig)
+	mut.Step[1].Imm = 99
+	if !ProveMutantEquivalent(orig, mut, "step", 1) {
+		t.Error("dead-store mutant not proved equivalent")
+	}
+
+	// Mutating unreachable code is output-equivalent.
+	mut2 := cloneProg(orig)
+	mut2.Step[3].Imm = 42
+	if !ProveMutantEquivalent(orig, mut2, "step", 3) {
+		t.Error("unreachable-code mutant not proved equivalent")
+	}
+
+	// Mutating the live computation is not.
+	mut3 := cloneProg(orig)
+	mut3.Step[0] = ti(ir.OpConst, i32, 0, 0, 0, 5)
+	if ProveMutantEquivalent(orig, mut3, "step", 0) {
+		t.Error("live-code mutant wrongly proved equivalent")
+	}
+}

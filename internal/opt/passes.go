@@ -1,0 +1,510 @@
+package opt
+
+import (
+	"math"
+
+	"cftcg/internal/analysis"
+	"cftcg/internal/interval"
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+// The dataflow passes. Every pass mutates its program in place, preserves
+// the instruction count and register numbering (compaction, which does not,
+// runs separately and is validated by lockstep execution), and returns how
+// many instructions it rewrote — a return of zero means a provable no-op.
+
+const (
+	optWidenVisits     = 8  // per-block joins before widening inside a function
+	optWidenStepRounds = 4  // outer step iterations before widening the state
+	optMaxStepRounds   = 64 // hard stop for the outer fixpoint
+)
+
+type funcRef struct {
+	name string
+	code []ir.Instr
+}
+
+func funcsOf(p *ir.Program) []funcRef {
+	return []funcRef{{"init", p.Init}, {"step", p.Step}}
+}
+
+// cloneProg copies a program deeply enough for independent rewriting.
+func cloneProg(p *ir.Program) *ir.Program {
+	q := *p
+	q.Init = append([]ir.Instr(nil), p.Init...)
+	q.Step = append([]ir.Instr(nil), p.Step...)
+	q.LoopSites = append([]ir.LoopSite(nil), p.LoopSites...)
+	return &q
+}
+
+// aenv is the abstract machine memory at one program point.
+type aenv struct {
+	regs, state []av
+}
+
+func (e *aenv) clone() *aenv {
+	return &aenv{regs: append([]av(nil), e.regs...), state: append([]av(nil), e.state...)}
+}
+
+func joinAenv(a, b *aenv) *aenv {
+	out := a.clone()
+	for i := range out.regs {
+		out.regs[i] = out.regs[i].join(b.regs[i])
+	}
+	for i := range out.state {
+		out.state[i] = out.state[i].join(b.state[i])
+	}
+	return out
+}
+
+func aenvEqual(a, b *aenv) bool {
+	for i := range a.regs {
+		if !a.regs[i].eqv(b.regs[i]) {
+			return false
+		}
+	}
+	for i := range a.state {
+		if !a.state[i].eqv(b.state[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// widenAenv widens every interval bound of next that grew past prev out to
+// infinity, forcing the chaotic iteration to converge. Known raw words are
+// untouched — a widened interval still soundly contains the known value.
+func widenAenv(prev, next *aenv) {
+	w := func(p, n av) av {
+		if n.itv.Lo < p.itv.Lo {
+			n.itv.Lo = math.Inf(-1)
+		}
+		if n.itv.Hi > p.itv.Hi {
+			n.itv.Hi = math.Inf(1)
+		}
+		return n
+	}
+	for i := range next.regs {
+		next.regs[i] = w(prev.regs[i], next.regs[i])
+	}
+	for i := range next.state {
+		next.state[i] = w(prev.state[i], next.state[i])
+	}
+}
+
+type sccpState struct {
+	in []av
+}
+
+// stepAv applies one non-control instruction to the environment.
+func (s *sccpState) stepAv(e *aenv, ins *ir.Instr) {
+	switch ins.Op {
+	case ir.OpNop, ir.OpStoreOut, ir.OpProbe, ir.OpCondProbe:
+	case ir.OpLoadIn:
+		e.regs[ins.Dst] = s.in[ins.Imm]
+	case ir.OpLoadState:
+		e.regs[ins.Dst] = e.state[ins.Imm]
+	case ir.OpStoreState:
+		e.state[ins.Imm] = e.regs[ins.A]
+	default:
+		if dst, _ := irOperands(ins); dst >= 0 {
+			e.regs[dst] = absEval(ins, func(r int32) av { return e.regs[r] })
+		}
+	}
+}
+
+// absFunc abstractly executes one function from an entry environment,
+// propagating only along feasible branch edges (the "conditional" half of
+// SCCP), and returns the per-block entry environments at the fixpoint plus
+// the join of all exit environments.
+func (s *sccpState) absFunc(code []ir.Instr, entry *aenv) ([]*aenv, *aenv) {
+	blocks := analysis.BasicBlocks(code)
+	if len(blocks) == 0 {
+		return nil, entry.clone()
+	}
+	ins := make([]*aenv, len(blocks))
+	visits := make([]int, len(blocks))
+	ins[0] = entry.clone()
+	work := []int{0}
+	inWork := make([]bool, len(blocks))
+	inWork[0] = true
+	var exit *aenv
+	noteExit := func(e *aenv) {
+		if exit == nil {
+			exit = e.clone()
+		} else {
+			exit = joinAenv(exit, e)
+		}
+	}
+	propagate := func(succ int, e *aenv) {
+		if succ >= len(blocks) {
+			noteExit(e)
+			return
+		}
+		if ins[succ] == nil {
+			ins[succ] = e.clone()
+		} else {
+			joined := joinAenv(ins[succ], e)
+			visits[succ]++
+			if visits[succ] >= optWidenVisits {
+				widenAenv(ins[succ], joined)
+			}
+			if aenvEqual(joined, ins[succ]) {
+				return
+			}
+			ins[succ] = joined
+		}
+		if !inWork[succ] {
+			inWork[succ] = true
+			work = append(work, succ)
+		}
+	}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		b := blocks[bi]
+		e := ins[bi].clone()
+		halted := false
+		for pc := b.Start; pc < b.End; pc++ {
+			instr := &code[pc]
+			switch instr.Op {
+			case ir.OpJmp, ir.OpJmpIf, ir.OpJmpIfNot:
+				// handled below via successors
+			case ir.OpHalt:
+				halted = true
+			default:
+				s.stepAv(e, instr)
+			}
+		}
+		if halted {
+			noteExit(e)
+			continue
+		}
+		last := &code[b.End-1]
+		switch last.Op {
+		case ir.OpJmpIf, ir.OpJmpIfNot:
+			trueSucc, falseSucc := b.Succs[0], b.Succs[1]
+			if last.Op == ir.OpJmpIfNot {
+				trueSucc, falseSucc = b.Succs[1], b.Succs[0]
+			}
+			t := e.regs[last.A].truth()
+			if t.CanTrue() {
+				propagate(trueSucc, e)
+			}
+			if t.CanFalse() {
+				propagate(falseSucc, e)
+			}
+		default: // OpJmp or plain fall-through
+			propagate(b.Succs[0], e)
+		}
+	}
+	if exit == nil {
+		exit = entry.clone() // no path leaves (abstract infinite loop)
+	}
+	return ins, exit
+}
+
+// sccp is sparse conditional constant propagation over the whole program:
+// init runs from a zeroed state, then step is iterated to a state fixpoint
+// (exactly like analysis.Feasible), and every instruction whose result raw
+// word is proved constant is rewritten to an OpConst while branches with a
+// definite condition become unconditional jumps or nops.
+func sccp(p *ir.Program) int {
+	s := &sccpState{in: inputAvs(p)}
+	entry := &aenv{regs: make([]av, p.NumRegs), state: make([]av, p.NumState)}
+	for i := range entry.regs {
+		entry.regs[i] = top() // registers hold garbage across runs
+	}
+	zero := av{known: true, raw: 0, itv: interval.Point(0)}
+	for i := range entry.state {
+		entry.state[i] = zero // Init() zeroes the state vector
+	}
+	initIns, cur := s.absFunc(p.Init, entry)
+	var stepIns []*aenv
+	converged := false
+	for round := 0; round < optMaxStepRounds; round++ {
+		var exit *aenv
+		stepIns, exit = s.absFunc(p.Step, cur)
+		next := joinAenv(cur, exit)
+		if round >= optWidenStepRounds {
+			widenAenv(cur, next)
+		}
+		if aenvEqual(next, cur) {
+			converged = true
+			break
+		}
+		cur = next
+	}
+	if !converged {
+		// The step environments are not a fixpoint; folding from them would
+		// be unsound. Widening makes this unreachable in practice.
+		return 0
+	}
+	return s.transform(p.Init, initIns) + s.transform(p.Step, stepIns)
+}
+
+// transform replays each feasible block from its fixpoint entry environment
+// and rewrites what the analysis proved.
+func (s *sccpState) transform(code []ir.Instr, blockIns []*aenv) int {
+	n := 0
+	blocks := analysis.BasicBlocks(code)
+	for bi, b := range blocks {
+		if bi >= len(blockIns) || blockIns[bi] == nil {
+			continue // infeasible or unreachable: jump threading cleans up
+		}
+		e := blockIns[bi].clone()
+		for pc := b.Start; pc < b.End; pc++ {
+			ins := &code[pc]
+			if isControl(ins.Op) {
+				if ins.Op == ir.OpJmpIf || ins.Op == ir.OpJmpIfNot {
+					switch e.regs[ins.A].truth() {
+					case interval.TriTrue:
+						if ins.Op == ir.OpJmpIf {
+							*ins = ir.Instr{Op: ir.OpJmp, Imm: ins.Imm}
+						} else {
+							*ins = ir.Instr{Op: ir.OpNop}
+						}
+						n++
+					case interval.TriFalse:
+						if ins.Op == ir.OpJmpIf {
+							*ins = ir.Instr{Op: ir.OpNop}
+						} else {
+							*ins = ir.Instr{Op: ir.OpJmp, Imm: ins.Imm}
+						}
+						n++
+					}
+				}
+				continue
+			}
+			dst, _ := irOperands(ins)
+			if dst < 0 {
+				s.stepAv(e, ins)
+				continue
+			}
+			var res av
+			switch ins.Op {
+			case ir.OpLoadIn:
+				res = s.in[ins.Imm]
+			case ir.OpLoadState:
+				res = e.state[ins.Imm]
+			default:
+				res = absEval(ins, func(r int32) av { return e.regs[r] })
+			}
+			e.regs[dst] = res
+			if res.known && pureValueOp(ins.Op) && canonicalRaw(resultDT(ins), res.raw) {
+				// The canonicality check matters: a pass-through op (mov,
+				// select) can carry a raw word that is not a fixpoint of
+				// encode∘decode under its own DT — e.g. a boolean-typed mov
+				// of a chart-state constant 3. Folding it to `const (bool) 3`
+				// would break the invariant every abstract analysis relies on
+				// (const Imm words are canonical for their DT), making the
+				// analyses decode 1 where the VM keeps 3.
+				ni := ir.Instr{Op: ir.OpConst, DT: resultDT(ins), Dst: dst, Imm: res.raw}
+				if *ins != ni {
+					*ins = ni
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// effTarget chases a jump target through nop runs and unconditional jump
+// chains to its effective destination, with a hop guard against cycles
+// (a jmp-to-itself loop is a legitimate — if hung — program).
+func effTarget(code []ir.Instr, t int) int {
+	for hops := 0; hops <= len(code); hops++ {
+		for t < len(code) && code[t].Op == ir.OpNop {
+			t++
+		}
+		if t < len(code) && code[t].Op == ir.OpJmp && int(code[t].Imm) != t {
+			t = int(code[t].Imm)
+			continue
+		}
+		return t
+	}
+	return t
+}
+
+// jumpThread nops unreachable instructions, retargets jumps through nop runs
+// and jump chains, and deletes branches whose target equals their
+// fall-through destination.
+func jumpThread(p *ir.Program) int {
+	n := 0
+	for _, fn := range funcsOf(p) {
+		code := fn.code
+		reach := analysis.ReachablePCs(code)
+		for pc := range code {
+			if !reach[pc] && code[pc].Op != ir.OpNop {
+				code[pc] = ir.Instr{Op: ir.OpNop}
+				n++
+			}
+		}
+		for pc := range code {
+			ins := &code[pc]
+			switch ins.Op {
+			case ir.OpJmp, ir.OpJmpIf, ir.OpJmpIfNot:
+				nt := effTarget(code, int(ins.Imm))
+				if nt != int(ins.Imm) {
+					ins.Imm = uint64(nt)
+					n++
+				}
+				if effTarget(code, pc+1) == nt {
+					// Taken and not-taken meet at the same instruction: the
+					// branch decides nothing.
+					*ins = ir.Instr{Op: ir.OpNop}
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// copyProp forwards mov sources into readers, block-locally: within a basic
+// block a read of a register defined by `mov dst = src` can read src
+// directly as long as neither has been redefined.
+func copyProp(p *ir.Program) int {
+	n := 0
+	for _, fn := range funcsOf(p) {
+		for _, b := range analysis.BasicBlocks(fn.code) {
+			copyOf := map[int32]int32{}
+			resolve := func(r int32) int32 {
+				if s, ok := copyOf[r]; ok {
+					return s
+				}
+				return r
+			}
+			for pc := b.Start; pc < b.End; pc++ {
+				ins := &fn.code[pc]
+				old := *ins
+				rewriteReads(ins, resolve)
+				if *ins != old {
+					n++
+				}
+				if dst, _ := irOperands(ins); dst >= 0 {
+					delete(copyOf, dst)
+					for k, v := range copyOf {
+						if v == dst {
+							delete(copyOf, k)
+						}
+					}
+					if ins.Op == ir.OpMov && ins.A != dst {
+						copyOf[dst] = ins.A // ins.A is already a root
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// exprKey identifies a pure computation for CSE: opcode, types, operand
+// registers and immediate. Two instructions with equal keys in the same
+// block (with no intervening redefinition) compute identical raw words.
+type exprKey struct {
+	op      ir.Op
+	dt, dt2 model.DType
+	a, b, c int32
+	imm     uint64
+}
+
+func keyOf(ins *ir.Instr) exprKey {
+	return exprKey{op: ins.Op, dt: ins.DT, dt2: ins.DT2, a: ins.A, b: ins.B, c: ins.C, imm: ins.Imm}
+}
+
+// keyReads returns the registers a key's computation reads.
+func keyReads(k exprKey) []int32 {
+	ins := ir.Instr{Op: k.op, A: k.a, B: k.b, C: k.c}
+	_, reads := irOperands(&ins)
+	return reads
+}
+
+// cse replaces a recomputation of an already-available expression with a mov
+// from the register holding it, block-locally. Input loads stay available
+// for a whole call (the input tuple is constant during one step); state
+// loads are invalidated by stores to their slot.
+func cse(p *ir.Program) int {
+	n := 0
+	for _, fn := range funcsOf(p) {
+		for _, b := range analysis.BasicBlocks(fn.code) {
+			avail := map[exprKey]int32{}
+			for pc := b.Start; pc < b.End; pc++ {
+				ins := &fn.code[pc]
+				if ins.Op == ir.OpStoreState {
+					for k := range avail {
+						if k.op == ir.OpLoadState && k.imm == ins.Imm {
+							delete(avail, k)
+						}
+					}
+					continue
+				}
+				dst, _ := irOperands(ins)
+				if dst < 0 {
+					continue
+				}
+				eligible := pureValueOp(ins.Op) && ins.Op != ir.OpMov && ins.Op != ir.OpConst
+				key := keyOf(ins)
+				if eligible {
+					if src, ok := avail[key]; ok && src != dst {
+						*ins = ir.Instr{Op: ir.OpMov, DT: ins.DT, Dst: dst, A: src}
+						n++
+						eligible = false // the value now lives in dst too, but
+						// tracking that would alias the entry; keep src.
+					}
+				}
+				// dst is redefined: drop expressions reading it or held in it.
+				for k, src := range avail {
+					if src == dst {
+						delete(avail, k)
+						continue
+					}
+					for _, r := range keyReads(k) {
+						if r == dst {
+							delete(avail, k)
+							break
+						}
+					}
+				}
+				if eligible {
+					avail[key] = dst
+				}
+			}
+		}
+	}
+	return n
+}
+
+// dse nops every pure computation whose destination the liveness analysis
+// proves is never read afterward — the transform the verifier's dead-store
+// lint was promoted into — plus identity movs.
+func dse(p *ir.Program) int {
+	live := analysis.ComputeLiveness(p)
+	n := 0
+	for _, fn := range funcsOf(p) {
+		reach := analysis.ReachablePCs(fn.code)
+		for pc := range fn.code {
+			ins := &fn.code[pc]
+			if !reach[pc] || ins.Op == ir.OpNop {
+				continue
+			}
+			dst, _ := irOperands(ins)
+			if dst < 0 || !pureValueOp(ins.Op) {
+				continue
+			}
+			if ins.Op == ir.OpMov && ins.A == dst {
+				*ins = ir.Instr{Op: ir.OpNop}
+				n++
+				continue
+			}
+			if lo := live.LiveOut(fn.name, pc); lo != nil && int(dst) < len(lo) && !lo[dst] {
+				*ins = ir.Instr{Op: ir.OpNop}
+				n++
+			}
+		}
+	}
+	return n
+}

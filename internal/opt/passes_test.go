@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"cftcg/internal/ir"
+	"cftcg/internal/model"
+)
+
+func ti(op ir.Op, dt model.DType, dst, a, b int32, imm uint64) ir.Instr {
+	return ir.Instr{Op: op, DT: dt, Dst: dst, A: a, B: b, Imm: imm}
+}
+
+func tprog(numRegs, numState int, init, step []ir.Instr) *ir.Program {
+	return &ir.Program{
+		Name:     "tiny",
+		Init:     init,
+		Step:     step,
+		NumRegs:  numRegs,
+		NumState: numState,
+		In:       []model.Field{{Name: "u", Type: model.Int32}},
+		Out:      []model.Field{{Name: "y", Type: model.Int32, Offset: 0}},
+	}
+}
+
+func TestSCCPFoldsArithmeticAndBranches(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(5, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 2),
+		ti(ir.OpConst, i32, 1, 0, 0, 3),
+		ti(ir.OpAdd, i32, 2, 0, 1, 0),   // r2 = 2+3 -> const 5
+		ti(ir.OpGt, i32, 3, 2, 0, 0),    // r3 = 5>2 -> const true
+		ti(ir.OpJmpIf, 0, 0, 3, 0, 6),   // always taken -> jmp
+		ti(ir.OpConst, i32, 2, 0, 0, 9), // dead arm
+		ti(ir.OpStoreOut, i32, 0, 2, 0, 0),
+	})
+	n := sccp(p)
+	if n == 0 {
+		t.Fatal("sccp made no changes")
+	}
+	if p.Step[2].Op != ir.OpConst || p.Step[2].Imm != 5 {
+		t.Errorf("add not folded: %v", p.Step[2])
+	}
+	if p.Step[3].Op != ir.OpConst || p.Step[3].Imm != 1 {
+		t.Errorf("compare not folded: %v", p.Step[3])
+	}
+	if p.Step[4].Op != ir.OpJmp {
+		t.Errorf("definite branch not rewritten: %v", p.Step[4])
+	}
+}
+
+// TestSCCPSkipsNonCanonicalFold is the regression test for the UTPC
+// miscompile: a boolean-typed mov carrying the chart-state constant 3 must
+// not fold to `const (bool) 3`, because every abstract analysis decodes that
+// const as 1 while the VM keeps raw 3.
+func TestSCCPSkipsNonCanonicalFold(t *testing.T) {
+	i32, bl := model.Int32, model.Bool
+	p := tprog(4, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 3),
+		ti(ir.OpMov, bl, 1, 0, 0, 0), // bool-typed mov of raw 3
+		ti(ir.OpConst, i32, 2, 0, 0, 2),
+		ti(ir.OpEq, i32, 3, 1, 2, 0), // 3 == 2 under int32 decode: false
+		ti(ir.OpStoreOut, i32, 0, 3, 0, 0),
+	})
+	sccp(p)
+	if p.Step[1].Op == ir.OpConst && p.Step[1].DT == bl && p.Step[1].Imm == 3 {
+		t.Fatalf("non-canonical const emitted: %v", p.Step[1])
+	}
+	// The downstream compare may still fold — but only to the VM's answer
+	// (raw 3 != 2 -> false), never to the bool-decoded one.
+	if p.Step[3].Op == ir.OpConst && p.Step[3].Imm != 0 {
+		t.Fatalf("compare folded to the wrong value: %v", p.Step[3])
+	}
+}
+
+func TestCopyPropRewritesThroughMovChains(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(4, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 7),
+		ti(ir.OpMov, i32, 1, 0, 0, 0),
+		ti(ir.OpMov, i32, 2, 1, 0, 0),
+		ti(ir.OpAdd, i32, 3, 2, 1, 0),
+		ti(ir.OpStoreOut, i32, 0, 3, 0, 0),
+	})
+	if n := copyProp(p); n == 0 {
+		t.Fatal("copy-prop made no changes")
+	}
+	if got := p.Step[3]; got.A != 0 || got.B != 0 {
+		t.Errorf("add reads not rewritten to the root copy: %v", got)
+	}
+	// A redefinition of the source must invalidate the copy.
+	p2 := tprog(3, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 7),
+		ti(ir.OpMov, i32, 1, 0, 0, 0),
+		ti(ir.OpConst, i32, 0, 0, 0, 8), // kills the r1=r0 fact
+		ti(ir.OpMov, i32, 2, 1, 0, 0),
+		ti(ir.OpStoreOut, i32, 0, 2, 0, 0),
+	})
+	copyProp(p2)
+	if p2.Step[3].A != 1 {
+		t.Errorf("stale copy used after source redefinition: %v", p2.Step[3])
+	}
+}
+
+func TestCSEReusesRedundantExpressions(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(5, 1, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 0),
+		ti(ir.OpStoreState, i32, 0, 0, 0, 0),
+	}, []ir.Instr{
+		ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+		ti(ir.OpLoadIn, i32, 1, 0, 0, 0), // same input load -> mov r1 = r0
+		ti(ir.OpAdd, i32, 2, 0, 1, 0),
+		ti(ir.OpAdd, i32, 3, 0, 1, 0), // same add -> mov r3 = r2
+		ti(ir.OpSub, i32, 4, 2, 3, 0),
+		ti(ir.OpStoreOut, i32, 0, 4, 0, 0),
+	})
+	if n := cse(p); n != 2 {
+		t.Fatalf("cse changes = %d, want 2", n)
+	}
+	if p.Step[1].Op != ir.OpMov || p.Step[1].A != 0 {
+		t.Errorf("redundant load not reused: %v", p.Step[1])
+	}
+	if p.Step[3].Op != ir.OpMov || p.Step[3].A != 2 {
+		t.Errorf("redundant add not reused: %v", p.Step[3])
+	}
+	// A store to the state slot must kill loadstate availability.
+	p2 := tprog(4, 1, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 0),
+		ti(ir.OpStoreState, i32, 0, 0, 0, 0),
+	}, []ir.Instr{
+		ti(ir.OpLoadState, i32, 0, 0, 0, 0),
+		ti(ir.OpLoadIn, i32, 1, 0, 0, 0),
+		ti(ir.OpStoreState, i32, 0, 1, 0, 0),
+		ti(ir.OpLoadState, i32, 2, 0, 0, 0), // must NOT become mov r2 = r0
+		ti(ir.OpStoreOut, i32, 0, 2, 0, 0),
+	})
+	cse(p2)
+	if p2.Step[3].Op != ir.OpLoadState {
+		t.Errorf("loadstate reused across an intervening store: %v", p2.Step[3])
+	}
+}
+
+func TestDSERemovesOverwrittenStores(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(2, 0, nil, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 1), // overwritten before any read
+		ti(ir.OpConst, i32, 0, 0, 0, 2),
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+	if n := dse(p); n != 1 {
+		t.Fatalf("dse changes = %d, want 1", n)
+	}
+	if p.Step[0].Op != ir.OpNop {
+		t.Errorf("overwritten store survives: %v", p.Step[0])
+	}
+	if p.Step[1].Op != ir.OpConst {
+		t.Errorf("live store removed: %v", p.Step[1])
+	}
+	// A register read by the next step call (cross-call liveness) must not
+	// be considered dead at the end of step.
+	p2 := tprog(2, 0, []ir.Instr{
+		ti(ir.OpConst, i32, 0, 0, 0, 5),
+	}, []ir.Instr{
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+		ti(ir.OpConst, i32, 0, 0, 0, 9), // feeds the NEXT step call
+	})
+	dse(p2)
+	if p2.Step[1].Op != ir.OpConst {
+		t.Errorf("cross-call live store removed: %v", p2.Step[1])
+	}
+}
+
+func TestJumpThreadingChasesChains(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(2, 0, nil, []ir.Instr{
+		ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+		ti(ir.OpJmpIf, 0, 0, 0, 0, 3),
+		ti(ir.OpJmp, 0, 0, 0, 0, 4),
+		ti(ir.OpJmp, 0, 0, 0, 0, 4), // hop in a chain
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+	if n := jumpThread(p); n == 0 {
+		t.Fatal("jump threading made no changes")
+	}
+	if p.Step[1].Op == ir.OpJmpIf && p.Step[1].Imm != 4 {
+		t.Errorf("branch not retargeted through the chain: %v", p.Step[1])
+	}
+}
+
+func TestCompactRemapsJumpsAndLoopSites(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(2, 0, nil, []ir.Instr{
+		ti(ir.OpLoadIn, i32, 0, 0, 0, 0),
+		ti(ir.OpNop, 0, 0, 0, 0, 0),
+		ti(ir.OpJmpIf, 0, 0, 0, 0, 5),
+		ti(ir.OpNop, 0, 0, 0, 0, 0),
+		ti(ir.OpConst, i32, 0, 0, 0, 1),
+		ti(ir.OpStoreOut, i32, 0, 0, 0, 0),
+	})
+	p.LoopSites = []ir.LoopSite{
+		{Func: "step", PC: 2, Label: "kept"},
+		{Func: "step", PC: 3, Label: "dropped-with-nop"},
+	}
+	if n := compact(p); n != 2 {
+		t.Fatalf("compact removed %d, want 2", n)
+	}
+	if p.Step[1].Op != ir.OpJmpIf || p.Step[1].Imm != 3 {
+		t.Errorf("jump not remapped: %v", p.Step[1])
+	}
+	if len(p.LoopSites) != 1 || p.LoopSites[0].PC != 1 || p.LoopSites[0].Label != "kept" {
+		t.Errorf("loop sites not remapped: %+v", p.LoopSites)
+	}
+	if p.NumRegs != 1 {
+		t.Errorf("register file not shrunk: NumRegs=%d", p.NumRegs)
+	}
+}
+
+func TestOptimizeRejectsUnverifiedInput(t *testing.T) {
+	i32 := model.Int32
+	p := tprog(2, 0, nil, []ir.Instr{
+		ti(ir.OpStoreOut, i32, 0, 1, 0, 0), // use of r1 before definition
+	})
+	if _, _, err := Optimize(p, nil, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "refusing unverified input") {
+		t.Fatalf("Optimize accepted an unverifiable program: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package opt_test
+
+// External-package property test: the optimization pipeline over every
+// benchmark model must (a) produce strict-verifier-clean programs, (b) be
+// VM-lockstep-indistinguishable from the original over a large random input
+// sample at full horizon — outputs and probe streams both — and (c) survive
+// a Disasm/ParseDisasm round trip. It lives in package opt_test because it
+// needs codegen, which internal/opt must not import.
+
+import (
+	"reflect"
+	"testing"
+
+	"cftcg/internal/analysis"
+	"cftcg/internal/benchmodels"
+	"cftcg/internal/codegen"
+	"cftcg/internal/ir"
+	"cftcg/internal/opt"
+)
+
+func TestOptimizedBenchmodelsEquivalent(t *testing.T) {
+	randomCases := 1000
+	if testing.Short() {
+		randomCases = 100
+	}
+	totalBefore, totalAfter := 0, 0
+	for _, e := range benchmodels.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			c, err := codegen.Compile(e.Build())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			optp, st, err := opt.Optimize(c.Prog, c.Plan, opt.Config{
+				LockstepCases: randomCases,
+				LockstepSteps: 48,
+				Seed:          7,
+			})
+			if err != nil {
+				t.Fatalf("optimize: %v", err)
+			}
+			t.Logf("%s: %s", e.Name, st.Summary())
+			if err := analysis.VerifyStrict(optp, c.Plan); err != nil {
+				t.Fatalf("optimized program fails strict verification: %v", err)
+			}
+			if st.After() > st.Before() {
+				t.Errorf("optimization grew the program: %d -> %d", st.Before(), st.After())
+			}
+			// Optimize already ran the final lockstep gate with the config
+			// above; run an independent check with a different seed so the
+			// test does not merely re-observe the pipeline's own gate.
+			if err := opt.Lockstep(c.Prog, optp, c.Plan, nil, randomCases, 48, 99); err != nil {
+				t.Fatalf("independent lockstep check: %v", err)
+			}
+			for _, fn := range []struct {
+				name string
+				code []ir.Instr
+			}{{"init", optp.Init}, {"step", optp.Step}} {
+				text := ir.Disasm(fn.code)
+				back, err := ir.ParseDisasm(text)
+				if err != nil {
+					t.Fatalf("%s: ParseDisasm: %v", fn.name, err)
+				}
+				if !reflect.DeepEqual(fn.code, back) {
+					t.Fatalf("%s: disasm round trip altered the program", fn.name)
+				}
+			}
+			totalBefore += st.Before()
+			totalAfter += st.After()
+		})
+	}
+	if totalAfter >= totalBefore {
+		t.Errorf("no aggregate instruction-count reduction: %d -> %d", totalBefore, totalAfter)
+	} else {
+		t.Logf("aggregate: %d -> %d instructions (-%.1f%%)",
+			totalBefore, totalAfter, 100*(1-float64(totalAfter)/float64(totalBefore)))
+	}
+}

@@ -1,14 +1,15 @@
 #!/bin/sh
 # bench.sh — run the pinned benchmark set and write a machine-readable
-# snapshot (default BENCH_v7.json) for cross-PR performance tracking.
+# snapshot (default BENCH_v8.json) for cross-PR performance tracking.
 # The pinned set is the fast, stable subset of the root bench_test.go
-# harness: mutation-strategy costs, mutant-runner throughput, and the
-# full harness orchestration path.
+# harness: mutation-strategy costs, mutant-runner throughput, the full
+# harness orchestration path, and the original-vs-optimized VM comparison
+# (per-model it/s plus instruction counts before/after the optimizer).
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_v7.json}"
-pattern='^(BenchmarkTable1MutationStrategies|BenchmarkMutantKill|BenchmarkHarnessTable3)$'
+out="${1:-BENCH_v8.json}"
+pattern='^(BenchmarkTable1MutationStrategies|BenchmarkMutantKill|BenchmarkHarnessTable3|BenchmarkVMOptimized)$'
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime 200ms .)
 echo "$raw" >&2

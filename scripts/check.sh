@@ -22,6 +22,10 @@ go vet ./...
 # the rest of the tree.)
 echo "== lint: go test -race (concurrency packages) =="
 go test -race ./internal/fuzz ./internal/campaign ./internal/coverage
+# The optimizer and mutation packages ride along in -short mode: their
+# property tests (1k-case lockstep sweeps, full mutant grinds) starve under
+# the race detector's ~15x slowdown.
+go test -short -race ./internal/opt ./internal/mutate
 
 echo "== go build =="
 go build ./...
@@ -43,6 +47,18 @@ score=$(echo "$out" | sed -n 's/.*"score": \([0-9.]*\),*/\1/p' | head -n1)
 echo "mutation score: $score"
 awk "BEGIN { exit !($score > 0 && $score <= 1) }" </dev/null \
 	|| { echo "mutate-smoke: score $score outside (0, 1]"; exit 1; }
+
+# Optimizer smoke: push every built-in benchmark through the translation-
+# validated optimization pipeline via the CLI — each must come out
+# verifier-clean and VM-lockstep equivalent. Same gate as `make opt-smoke`.
+echo "== opt smoke =="
+for m in CPUTask AFC TCP RAC EVCS TWC UTPC SolarPV; do
+	out=$(go run ./cmd/cftcg analyze "$m" -stats -opt) \
+		|| { echo "opt-smoke: $m: optimizer failed"; exit 1; }
+	echo "$out" | grep -q "optimization validated" \
+		|| { echo "opt-smoke: $m: missing validation line"; exit 1; }
+	echo "opt-smoke: $m: $(echo "$out" | sed -n 's/^optimized: //p')"
+done
 
 # Chaos suite: arm the build-tag-gated failpoints and run the
 # fault-injection tests (torn WAL writes, fsync failures, checkpoint
