@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench chaos mutate-smoke opt-smoke
+.PHONY: all build test race vet fmt lint check bench chaos mutate-smoke opt-smoke cover fuzz-smoke
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test and subtest order every run, flushing out
+# inter-test state dependence (the seed is printed for replay).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race runs in -short mode: the headline campaign comparisons are
 # timing-sensitive and starve under the race detector's ~15x slowdown; the
@@ -31,7 +33,7 @@ fmt:
 # property tests (1k-case lockstep sweeps, full mutant grinds) starve under
 # the race detector's ~15x slowdown.
 lint: fmt vet
-	$(GO) test -race ./internal/fuzz ./internal/campaign ./internal/coverage
+	$(GO) test -race ./internal/fuzz ./internal/campaign ./internal/coverage ./internal/vm ./internal/ir
 	$(GO) test -short -race ./internal/opt ./internal/mutate
 
 # mutate-smoke is the mutation-testing end-to-end gate: generate mutants
@@ -64,7 +66,19 @@ opt-smoke:
 chaos:
 	$(GO) test -race -tags faultinject ./internal/faultinject ./internal/wal ./internal/fuzz ./internal/campaign
 
-check: fmt vet build test race mutate-smoke opt-smoke chaos
+# cover enforces the statement-coverage floors on the load-bearing
+# packages (VM backends, IR); see scripts/cover.sh for the committed floors.
+cover:
+	scripts/cover.sh
+
+# fuzz-smoke runs the native fuzz targets briefly past their committed
+# corpora: the cross-backend lockstep rig chews randomized programs on all
+# three backends, and the disassembler round-tripper hammers the parser.
+fuzz-smoke:
+	$(GO) test ./internal/vm -run '^$$' -fuzz '^FuzzVMBackendsLockstep$$' -fuzztime 10s
+	$(GO) test ./internal/ir -run '^$$' -fuzz '^FuzzDisasmRoundTrip$$' -fuzztime 5s
+
+check: fmt vet build test race cover fuzz-smoke mutate-smoke opt-smoke chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$

@@ -286,6 +286,119 @@ func BenchmarkVMOptimized(b *testing.B) {
 	}
 }
 
+// BenchmarkVMBackends compares stepping throughput of the switch reference
+// interpreter against the threaded backend on every benchmark model, in both
+// fuzzing shape (coverage recorder attached, "rec") and mutant-grind shape
+// (no recorder, "norec" — mutants only need outputs). The superinstruction
+// count is attached as a metric. scripts/bench.sh snapshots the
+// switch/threaded pairs into BENCH_v9.json.
+func BenchmarkVMBackends(b *testing.B) {
+	for _, e := range benchmodels.All() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			c, err := codegen.Compile(e.Build())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			inputs := make([][]uint64, 64)
+			for i := range inputs {
+				in := make([]uint64, len(c.Prog.In))
+				for f, field := range c.Prog.In {
+					in[f] = model.EncodeInt(field.Type, int64(rng.Intn(512)-256))
+				}
+				inputs[i] = in
+			}
+			for _, withRec := range []bool{true, false} {
+				withRec := withRec
+				for kind := vm.BackendKind(0); kind.Valid(); kind++ {
+					kind := kind
+					name := kind.String() + "/rec"
+					if !withRec {
+						name = kind.String() + "/norec"
+					}
+					b.Run(name, func(b *testing.B) {
+						var rec *coverage.Recorder
+						if withRec {
+							rec = coverage.NewRecorder(c.Plan)
+						}
+						m := vm.NewBackend(kind, c.Prog, rec)
+						if err := m.Init(); err != nil {
+							b.Fatal(err)
+						}
+						b.ResetTimer()
+						if withRec {
+							for i := 0; i < b.N; i++ {
+								rec.BeginStep()
+								m.Step(inputs[i&63])
+							}
+						} else {
+							for i := 0; i < b.N; i++ {
+								m.Step(inputs[i&63])
+							}
+						}
+						if kind == vm.BackendThreaded {
+							b.ReportMetric(float64(vm.CompileThreaded(c.Prog).Fused()), "fused")
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVMBatch measures the mutant-grind shape: 64 program instances
+// advanced in lockstep over one input stream. "machines" allocates 64
+// scalar threaded machines (shared compile, separate register files);
+// "batch" runs 64 lanes over structure-of-arrays slabs where the per-round
+// reset is a memclr. Reported ns are per lane-step.
+func BenchmarkVMBatch(b *testing.B) {
+	const lanes = 64
+	for _, name := range []string{"CPUTask", "TCP"} {
+		c := compileBench(b, name)
+		code := vm.CompileThreaded(c.Prog)
+		rng := rand.New(rand.NewSource(1))
+		inputs := make([][]uint64, 64)
+		for i := range inputs {
+			in := make([]uint64, len(c.Prog.In))
+			for f, field := range c.Prog.In {
+				in[f] = model.EncodeInt(field.Type, int64(rng.Intn(512)-256))
+			}
+			inputs[i] = in
+		}
+		b.Run(name+"/machines", func(b *testing.B) {
+			ms := make([]*vm.Threaded, lanes)
+			for i := range ms {
+				ms[i] = vm.NewThreadedFromCode(code, nil)
+				ms[i].Init()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := inputs[i&63]
+				for _, m := range ms {
+					m.Step(in)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/lane-step")
+		})
+		b.Run(name+"/batch", func(b *testing.B) {
+			bt := vm.NewBatch(code, lanes, nil)
+			bt.ResetAll()
+			for i := 0; i < lanes; i++ {
+				bt.Init(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := inputs[i&63]
+				for lane := 0; lane < lanes; lane++ {
+					bt.Step(lane, in)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/lane-step")
+		})
+	}
+}
+
 // BenchmarkCPUTaskDeepBranches measures how much fuzzing work reaches the
 // queue-full branches of CPUTask, reporting the iteration count that at
 // engine speed would take the paper's estimated 44.5 hours.
@@ -438,13 +551,23 @@ func BenchmarkMutantKill(b *testing.B) {
 	for _, tc := range res.Suite.Cases {
 		cases = append(cases, tc.Data)
 	}
-	b.ResetTimer()
-	var rep *mutate.Report
-	for i := 0; i < b.N; i++ {
-		rep = mutate.Run(c, muts, cases, mutate.RunConfig{})
+	// batch is the production path (lane-grouped mutants over shared
+	// slabs); seq is the one-machine-per-mutant reference. Identical
+	// reports — TestBatchedMatchesSequential — so the delta is pure
+	// execution overhead.
+	for _, sub := range []struct {
+		name    string
+		noBatch bool
+	}{{"batch", false}, {"seq", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			var rep *mutate.Report
+			for i := 0; i < b.N; i++ {
+				rep = mutate.Run(c, muts, cases, mutate.RunConfig{NoBatch: sub.noBatch, NoProve: true})
+			}
+			b.ReportMetric(float64(rep.Steps)*float64(b.N)/b.Elapsed().Seconds(), "mutant-steps/s")
+			b.ReportMetric(rep.Summary.Score, "score")
+		})
 	}
-	b.ReportMetric(float64(rep.Execs)*float64(b.N)/b.Elapsed().Seconds(), "mutant-execs/s")
-	b.ReportMetric(rep.Summary.Score, "score")
 }
 
 // BenchmarkHarnessTable3 exercises the full harness path (what cmd/benchtab

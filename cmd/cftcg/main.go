@@ -34,6 +34,7 @@ import (
 	"cftcg/internal/fuzz"
 	"cftcg/internal/mutate"
 	"cftcg/internal/opt"
+	"cftcg/internal/vm"
 )
 
 func main() {
@@ -68,10 +69,13 @@ func main() {
 		analyze := fs.Bool("analyze", false, "statically prove objectives dead; exclude them from the report denominators")
 		directed := fs.Bool("directed", false, "bias mutation toward input fields that influence unsatisfied objectives")
 		optimize := fs.Bool("opt", false, "fuzz the optimized program (translation-validated: identical outputs and probe streams)")
+		backendName := fs.String("backend", "", "VM backend: switch (reference) or threaded (differentially proven equal, ~2x faster)")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
 
 		m, err := fuzz.ParseMode(*mode)
+		check(err)
+		backend, err := vm.ParseBackend(*backendName)
 		check(err)
 		if *analyze {
 			if n := analysis.MarkDead(sys.Compiled.Prog, sys.Compiled.Plan); n > 0 {
@@ -97,7 +101,7 @@ func main() {
 			Seed: *seed, Mode: m, Budget: *budget, MaxExecs: *execs, MaxTuples: *maxTuples,
 			Fuel:           *fuel,
 			CheckpointPath: *checkpoint, CheckpointEvery: *ckptEvery, ResumeFrom: *resume,
-			Directed: *directed, Optimize: *optimize,
+			Directed: *directed, Optimize: *optimize, Backend: backend,
 		}
 		if *seeds != "" {
 			seedInputs, err := core.ReadSeedDir(*seeds)
@@ -341,6 +345,7 @@ func main() {
 		fuel := fs.Int64("fuel", 0, "per-step mutant instruction budget (0 = default; exhaustion = killed-by-timeout)")
 		feedback := fs.Int("feedback", 0, "survivor-directed refuzzing rounds (mutation energy on surviving mutants' input fields)")
 		noProve := fs.Bool("no-prove", false, "skip the equivalence prover; proven-unkillable mutants then count as survivors")
+		noBatch := fs.Bool("no-batch", false, "run mutants one-machine-at-a-time instead of the batched lane runner (identical report, for debugging)")
 		asJSON := fs.Bool("json", false, "print the full report as JSON")
 		check(fs.Parse(args[1:]))
 		sys := loadSystem(arg(args, 0))
@@ -363,7 +368,7 @@ func main() {
 			cases = append(cases, tc.Data)
 		}
 
-		rcfg := mutate.RunConfig{Fuel: *fuel, NoProve: *noProve}
+		rcfg := mutate.RunConfig{Fuel: *fuel, NoProve: *noProve, NoBatch: *noBatch}
 		rep := mutate.Run(sys.Compiled, muts, cases, rcfg)
 		if !*asJSON {
 			sc := mutate.Surface(sys.Compiled.Prog, sys.Model)

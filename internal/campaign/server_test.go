@@ -266,3 +266,38 @@ func readAll(t *testing.T, resp *http.Response) string {
 	}
 	return string(data)
 }
+
+// TestBackendSpecAndForce: an unknown backend name is rejected at submit
+// (and, for ForceBackend, at server construction); -backend promotes every
+// submission's spec before it is journaled, like ForceOptimize.
+func TestBackendSpecAndForce(t *testing.T) {
+	if _, err := NewServerWithConfig(testResolver(t), ServerConfig{ForceBackend: "bogus"}); err == nil {
+		t.Fatal("ForceBackend bogus: want a startup error")
+	}
+
+	plain := NewServer(testResolver(t), 1)
+	if _, err := plain.Submit(Spec{Model: "Magic", MaxExecs: 50, Backend: "bogus"}); err == nil {
+		t.Error("submit with unknown backend: want an error")
+	}
+	drain(t, plain)
+
+	srv, err := NewServerWithConfig(testResolver(t), ServerConfig{Runners: 1, ForceBackend: "threaded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := srv.Submit(Spec{Model: "Magic", MaxExecs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spec.Backend != "threaded" {
+		t.Errorf("ForceBackend not promoted onto the spec: %q", job.Spec.Backend)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for job.status().State != StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign on the threaded backend did not finish: %+v", job.status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	drain(t, srv)
+}

@@ -22,6 +22,29 @@ type Recorder struct {
 	// vecs records, per decision, the set of (condition vector, outcome)
 	// pairs seen — the raw material for MCDC pairing. Bounded per decision.
 	vecs []map[uint64]struct{}
+	// lastVec caches, per decision, the most recent (vector, outcome) key
+	// plus one (0 = none). Decisions resolve the same way step after step on
+	// most inputs, so this single entry skips the map insert — the hottest
+	// operation in VM profiles — in the common case. Purely an accelerator:
+	// it only elides inserts of keys already present in vecs.
+	lastVec []uint64
+
+	// condMeta/decMeta flatten the plan fields Cond and Outcome touch into
+	// compact contiguous records. Plan entries carry labels and slices the
+	// hot path never reads; chasing them costs a cache miss per probe.
+	condMeta []condMeta
+	decMeta  []decMeta
+}
+
+type condMeta struct {
+	branchBase uint32
+	decID      uint32
+	bit        uint32 // 1 << slot
+}
+
+type decMeta struct {
+	outcomeBase uint32
+	hasConds    bool
 }
 
 // maxVectorsPerDecision bounds MCDC bookkeeping per decision. 1<<16 packed
@@ -36,9 +59,28 @@ func NewRecorder(p *Plan) *Recorder {
 		Total:   make([]uint8, p.NumBranches),
 		condVec: make([]uint32, len(p.Decisions)),
 		vecs:    make([]map[uint64]struct{}, len(p.Decisions)),
+		lastVec: make([]uint64, len(p.Decisions)),
+
+		condMeta: make([]condMeta, len(p.Conds)),
+		decMeta:  make([]decMeta, len(p.Decisions)),
 	}
 	for i := range r.vecs {
 		r.vecs[i] = make(map[uint64]struct{})
+	}
+	for i := range p.Conds {
+		c := &p.Conds[i]
+		r.condMeta[i] = condMeta{
+			branchBase: uint32(c.BranchBase),
+			decID:      uint32(c.DecisionID),
+			bit:        uint32(1) << uint(c.Slot),
+		}
+	}
+	for i := range p.Decisions {
+		d := &p.Decisions[i]
+		r.decMeta[i] = decMeta{
+			outcomeBase: uint32(d.OutcomeBase),
+			hasConds:    len(d.CondIDs) > 0,
+		}
 	}
 	return r
 }
@@ -59,17 +101,17 @@ func (r *Recorder) BeginStep() {
 // Cond records one condition evaluation: both the branch hit (true or false
 // polarity) and the bit in the owning decision's condition vector.
 func (r *Recorder) Cond(condID int, v bool) {
-	c := &r.plan.Conds[condID]
-	branch := c.BranchBase
+	c := r.condMeta[condID]
+	branch := c.branchBase
 	if !v {
 		branch++
 	}
 	r.Curr[branch] = 1
 	r.Total[branch] = 1
 	if v {
-		r.condVec[c.DecisionID] |= 1 << uint(c.Slot)
+		r.condVec[c.decID] |= c.bit
 	} else {
-		r.condVec[c.DecisionID] &^= 1 << uint(c.Slot)
+		r.condVec[c.decID] &^= c.bit
 	}
 }
 
@@ -77,15 +119,18 @@ func (r *Recorder) Cond(condID int, v bool) {
 // the condition vector for MCDC, and resets the vector for the next
 // evaluation. This is the paper's CoverageStatistics() entry point.
 func (r *Recorder) Outcome(decID, outcome int) {
-	d := &r.plan.Decisions[decID]
-	branch := d.OutcomeBase + outcome
+	d := r.decMeta[decID]
+	branch := int(d.outcomeBase) + outcome
 	r.Curr[branch] = 1
 	r.Total[branch] = 1
-	if len(d.CondIDs) > 0 {
-		set := r.vecs[decID]
-		if len(set) < maxVectorsPerDecision {
-			key := uint64(r.condVec[decID]) | uint64(outcome)<<32
-			set[key] = struct{}{}
+	if d.hasConds {
+		key := uint64(r.condVec[decID]) | uint64(outcome)<<32
+		if r.lastVec[decID] != key+1 {
+			set := r.vecs[decID]
+			if len(set) < maxVectorsPerDecision {
+				set[key] = struct{}{}
+				r.lastVec[decID] = key + 1
+			}
 		}
 		r.condVec[decID] = 0
 	}
@@ -100,6 +145,7 @@ func (r *Recorder) ResetAll() {
 	for i := range r.vecs {
 		r.vecs[i] = make(map[uint64]struct{})
 	}
+	clear(r.lastVec)
 }
 
 // CoveredBranches counts branch IDs hit so far.

@@ -91,6 +91,12 @@ type Options struct {
 	// code. The pipeline's validator guarantees identical outputs and probe
 	// streams, so coverage and findings are comparable either way.
 	Optimize bool
+	// Backend selects the VM execution backend the campaign runs on: the
+	// switch reference interpreter (the zero value) or the direct-threaded
+	// compiled backend. The cross-backend differential rig proves the
+	// backends observably identical — outputs, probes, fuel, hang sites —
+	// so results are comparable whichever executes.
+	Backend vm.BackendKind
 	// Fuel bounds the instructions one init/step call may execute before it
 	// is aborted and triaged as a Hang finding (0 = vm.DefaultFuel).
 	Fuel int64
@@ -161,6 +167,9 @@ func (o *Options) Validate() error {
 	if o.Fuel < 0 {
 		return fmt.Errorf("fuzz: negative Fuel %d", o.Fuel)
 	}
+	if !o.Backend.Valid() {
+		return fmt.Errorf("fuzz: unknown backend %v", o.Backend)
+	}
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("fuzz: negative CheckpointEvery %s", o.CheckpointEvery)
 	}
@@ -211,7 +220,7 @@ type Result struct {
 type Engine struct {
 	c    *codegen.Compiled
 	rec  *coverage.Recorder
-	m    *vm.Machine
+	m    vm.Backend
 	opts Options
 	rng  *rand.Rand
 
@@ -359,7 +368,7 @@ func NewEngine(c *codegen.Compiled, opts Options) (*Engine, error) {
 	e := &Engine{
 		c:          c,
 		rec:        rec,
-		m:          vm.New(c.Prog, rec),
+		m:          vm.NewBackend(opts.Backend, c.Prog, rec),
 		opts:       opts,
 		rng:        rng,
 		mut:        NewMutator(c.Prog.In, c.Prog.TupleSize(), opts.MaxTuples, rng),

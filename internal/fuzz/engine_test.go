@@ -1,10 +1,13 @@
 package fuzz
 
 import (
+	"bytes"
 	"testing"
 
+	"cftcg/internal/benchmodels"
 	"cftcg/internal/codegen"
 	"cftcg/internal/model"
+	"cftcg/internal/vm"
 )
 
 // switchOnly builds the minimal model for metric arithmetic: one Switch
@@ -122,5 +125,42 @@ func TestEngineDeterministicWithSeed(t *testing.T) {
 	if r1.Steps != r2.Steps || r1.Execs != r2.Execs || len(r1.Suite.Cases) != len(r2.Suite.Cases) {
 		t.Errorf("same seed must replay identically: steps %d vs %d, execs %d vs %d, cases %d vs %d",
 			r1.Steps, r2.Steps, r1.Execs, r2.Execs, len(r1.Suite.Cases), len(r2.Suite.Cases))
+	}
+}
+
+// TestBackendInvariantCampaign: a campaign is a deterministic function of
+// (seed, options, observable VM behavior) — and the threaded backend is
+// differentially proven observably identical to the switch reference — so
+// the same campaign on either backend must produce the same executions,
+// steps, cases and coverage, byte for byte.
+func TestBackendInvariantCampaign(t *testing.T) {
+	for _, name := range []string{"CPUTask", "SolarPV"} {
+		e, err := benchmodels.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := codegen.Compile(e.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Seed: 3, MaxExecs: 1500, Directed: true}
+		sw := MustEngine(c, opts).Run()
+		opts.Backend = vm.BackendThreaded
+		th := MustEngine(c, opts).Run()
+		if sw.Execs != th.Execs || sw.Steps != th.Steps || sw.Corpus != th.Corpus {
+			t.Fatalf("%s: counters diverge across backends: execs %d/%d steps %d/%d corpus %d/%d",
+				name, sw.Execs, th.Execs, sw.Steps, th.Steps, sw.Corpus, th.Corpus)
+		}
+		if d1, d2 := sw.Report.Decision(), th.Report.Decision(); d1 != d2 {
+			t.Fatalf("%s: decision coverage diverges: %.2f vs %.2f", name, d1, d2)
+		}
+		if len(sw.Suite.Cases) != len(th.Suite.Cases) {
+			t.Fatalf("%s: case counts diverge: %d vs %d", name, len(sw.Suite.Cases), len(th.Suite.Cases))
+		}
+		for i := range sw.Suite.Cases {
+			if !bytes.Equal(sw.Suite.Cases[i].Data, th.Suite.Cases[i].Data) {
+				t.Fatalf("%s: case %d differs across backends", name, i)
+			}
+		}
 	}
 }

@@ -1,0 +1,39 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDisasmRoundTrip feeds arbitrary text to ParseDisasm. Malformed input
+// must be rejected with an error — never a panic — and any text the parser
+// accepts must survive a disassemble/parse cycle exactly: Disasm output is
+// the canonical form, so one render reaches a fixpoint.
+func FuzzDisasmRoundTrip(f *testing.F) {
+	for _, seed := range []int64{0, 1, 2, 17, 99} {
+		p, _ := GenProgram(seed)
+		f.Add(Disasm(p.Step))
+		f.Add(Disasm(p.Init))
+	}
+	f.Add(Disasm(everyOpcode()))
+	f.Add("   0  const     r1 = 0xfffffff9 (i32 -7)\n   1  add       r3 = r1, r2 (i32)")
+	f.Add("jmp -> 0\nhalt")
+	f.Add("bogus r1 = r2")
+	f.Fuzz(func(t *testing.T, text string) {
+		ins, err := ParseDisasm(text)
+		if err != nil {
+			return // rejection is fine; only a panic is a bug
+		}
+		canon := Disasm(ins)
+		ins2, err := ParseDisasm(canon)
+		if err != nil {
+			t.Fatalf("canonical text failed to re-parse: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(ins, ins2) {
+			t.Fatalf("instructions changed across a disasm/parse cycle\nbefore: %#v\nafter:  %#v", ins, ins2)
+		}
+		if again := Disasm(ins2); again != canon {
+			t.Fatalf("disasm not a fixpoint:\nfirst:\n%s\nsecond:\n%s", canon, again)
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"cftcg/internal/coverage"
 	"cftcg/internal/ir"
 	"cftcg/internal/model"
+	"cftcg/internal/vm"
 )
 
 // Mutant is one faulty variant of a compiled model.
@@ -54,6 +55,13 @@ type Mutant struct {
 	// extra mutation energy while this mutant survives. Empty for
 	// chart-level mutants.
 	Fields []int `json:"fields,omitempty"`
+
+	// code caches the threaded compilation of Prog for the batched runner,
+	// so repeated scoring passes (the survivor feedback loop) compile each
+	// mutant once. codeBad latches a compile rejection — such a mutant
+	// permanently falls back to the sequential path.
+	code    *vm.Code
+	codeBad bool
 }
 
 // Config selects and bounds mutant generation.

@@ -1,6 +1,8 @@
 package mutate
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"cftcg/internal/analysis"
@@ -384,5 +386,65 @@ func TestEquivalentMutantReclassified(t *testing.T) {
 	}
 	if !foundEq {
 		t.Fatal("no benchmark mutant was proven equivalent — the prover never fired")
+	}
+}
+
+// randomSuite builds nCases random step sequences for p, reproducibly.
+func randomSuite(p *ir.Program, seed int64, nCases, nSteps int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	suite := make([][]byte, nCases)
+	for ci := range suite {
+		steps := make([][]uint64, nSteps)
+		for si := range steps {
+			in := make([]uint64, len(p.In))
+			for fi, f := range p.In {
+				in[fi] = model.EncodeInt(f.Type, int64(rng.Intn(512)-256))
+			}
+			steps[si] = in
+		}
+		suite[ci] = encodeCase(p, steps)
+	}
+	return suite
+}
+
+// TestBatchedMatchesSequential: the batched input-major runner and the
+// sequential one-machine-per-mutant path are the same oracle. Every field of
+// the report — kill reasons, killing case, duplicate collapsing (which flows
+// through the behavior hashes), execution counters, score — must be
+// identical, across plain runs and a tiny-fuel run that exercises the
+// timeout and terminal-event paths.
+func TestBatchedMatchesSequential(t *testing.T) {
+	for _, name := range []string{"CPUTask", "SolarPV"} {
+		e, err := benchmodels.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := e.Build()
+		c := compile(t, m)
+		muts := Generate(c, m, Config{Limit: 90, Seed: 11})
+		suite := randomSuite(c.Prog, 17, 4, 12)
+		for _, cfg := range []RunConfig{
+			{NoProve: true},
+			{NoProve: true, NoProbe: true},
+			{NoProve: true, Fuel: 600, MaxSteps: 6},
+		} {
+			seqCfg := cfg
+			seqCfg.NoBatch = true
+			seq := Run(c, muts, suite, seqCfg)
+			bat := Run(c, muts, suite, cfg)
+			if !reflect.DeepEqual(seq.Summary, bat.Summary) {
+				t.Fatalf("%s cfg %+v: summaries differ\nseq: %+v\nbat: %+v", name, cfg, seq.Summary, bat.Summary)
+			}
+			if seq.Execs != bat.Execs || seq.Steps != bat.Steps {
+				t.Fatalf("%s cfg %+v: counters differ: seq %d/%d, bat %d/%d",
+					name, cfg, seq.Execs, seq.Steps, bat.Execs, bat.Steps)
+			}
+			for i := range seq.Results {
+				if !reflect.DeepEqual(seq.Results[i], bat.Results[i]) {
+					t.Fatalf("%s cfg %+v: mutant %d differs\nseq: %+v\nbat: %+v",
+						name, cfg, i, seq.Results[i], bat.Results[i])
+				}
+			}
+		}
 	}
 }

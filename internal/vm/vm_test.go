@@ -27,13 +27,13 @@ func binProgram(op ir.Op, dt model.DType) *ir.Program {
 	}
 }
 
-func runBin(t *testing.T, op ir.Op, dt model.DType, x, y uint64) uint64 {
+func runBinOn(t *testing.T, mk makeBackend, op ir.Op, dt model.DType, x, y uint64) uint64 {
 	t.Helper()
 	p := binProgram(op, dt)
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	m := New(p, nil)
+	m := mk(p, nil)
 	m.Init()
 	m.Step([]uint64{x, y})
 	return m.Out()[0]
@@ -55,29 +55,33 @@ func TestIntegerArithmetic(t *testing.T) {
 		{ir.OpMin, model.Int8, -5, 3, -5},
 		{ir.OpMax, model.UInt8, 5, 200, 200},
 	}
-	for _, c := range cases {
-		got := model.DecodeInt(c.dt, runBin(t, c.op, c.dt, model.EncodeInt(c.dt, c.x), model.EncodeInt(c.dt, c.y)))
-		if got != c.w {
-			t.Errorf("%s %s(%d, %d) = %d, want %d", c.dt, c.op, c.x, c.y, got, c.w)
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		for _, c := range cases {
+			got := model.DecodeInt(c.dt, runBinOn(t, mk, c.op, c.dt, model.EncodeInt(c.dt, c.x), model.EncodeInt(c.dt, c.y)))
+			if got != c.w {
+				t.Errorf("%s %s(%d, %d) = %d, want %d", c.dt, c.op, c.x, c.y, got, c.w)
+			}
 		}
-	}
+	})
 }
 
 func TestFloatArithmetic(t *testing.T) {
-	got := model.DecodeFloat(model.Float64, runBin(t, ir.OpDiv, model.Float64,
-		model.EncodeFloat(model.Float64, 1), model.EncodeFloat(model.Float64, 0)))
-	if got != 0 {
-		t.Errorf("float x/0 must be 0 (total), got %v", got)
-	}
-	got = model.DecodeFloat(model.Float32, runBin(t, ir.OpMul, model.Float32,
-		model.EncodeFloat(model.Float32, 1.5), model.EncodeFloat(model.Float32, 2)))
-	if got != 3 {
-		t.Errorf("float32 mul: %v", got)
-	}
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		got := model.DecodeFloat(model.Float64, runBinOn(t, mk, ir.OpDiv, model.Float64,
+			model.EncodeFloat(model.Float64, 1), model.EncodeFloat(model.Float64, 0)))
+		if got != 0 {
+			t.Errorf("float x/0 must be 0 (total), got %v", got)
+		}
+		got = model.DecodeFloat(model.Float32, runBinOn(t, mk, ir.OpMul, model.Float32,
+			model.EncodeFloat(model.Float32, 1.5), model.EncodeFloat(model.Float32, 2)))
+		if got != 3 {
+			t.Errorf("float32 mul: %v", got)
+		}
+	})
 }
 
 // Property: comparisons agree with a big-integer reference for every
-// signed/unsigned type.
+// signed/unsigned type, on every backend.
 func TestCompareAgainstReference(t *testing.T) {
 	ops := map[ir.Op]func(a, b int64) bool{
 		ir.OpEq: func(a, b int64) bool { return a == b },
@@ -87,24 +91,25 @@ func TestCompareAgainstReference(t *testing.T) {
 		ir.OpGt: func(a, b int64) bool { return a > b },
 		ir.OpGe: func(a, b int64) bool { return a >= b },
 	}
-	for op, ref := range ops {
-		op, ref := op, ref
-		prop := func(x, y int32) bool {
-			for _, dt := range []model.DType{model.Int8, model.UInt16, model.Int32, model.UInt32} {
-				xr := model.EncodeInt(dt, int64(x))
-				yr := model.EncodeInt(dt, int64(y))
-				want := ref(model.DecodeInt(dt, xr), model.DecodeInt(dt, yr))
-				got := runBin(t, op, dt, xr, yr) != 0
-				if got != want {
-					return false
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		for op, ref := range ops {
+			prop := func(x, y int32) bool {
+				for _, dt := range []model.DType{model.Int8, model.UInt16, model.Int32, model.UInt32} {
+					xr := model.EncodeInt(dt, int64(x))
+					yr := model.EncodeInt(dt, int64(y))
+					want := ref(model.DecodeInt(dt, xr), model.DecodeInt(dt, yr))
+					got := runBinOn(t, mk, op, dt, xr, yr) != 0
+					if got != want {
+						return false
+					}
 				}
+				return true
 			}
-			return true
+			if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+				t.Errorf("%s: %v", op, err)
+			}
 		}
-		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
-			t.Errorf("%s: %v", op, err)
-		}
-	}
+	})
 }
 
 func TestStatePersistsAcrossStepsAndResets(t *testing.T) {
@@ -128,19 +133,21 @@ func TestStatePersistsAcrossStepsAndResets(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	m := New(p, nil)
-	m.Init()
-	for want := int64(10); want < 14; want++ {
-		m.Step(nil)
-		if got := model.DecodeInt(model.Int32, m.Out()[0]); got != want {
-			t.Fatalf("counter: got %d, want %d", got, want)
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		m := mk(p, nil)
+		m.Init()
+		for want := int64(10); want < 14; want++ {
+			m.Step(nil)
+			if got := model.DecodeInt(model.Int32, m.Out()[0]); got != want {
+				t.Fatalf("counter: got %d, want %d", got, want)
+			}
 		}
-	}
-	m.Init()
-	m.Step(nil)
-	if got := model.DecodeInt(model.Int32, m.Out()[0]); got != 10 {
-		t.Fatalf("Init must reset state: got %d", got)
-	}
+		m.Init()
+		m.Step(nil)
+		if got := model.DecodeInt(model.Int32, m.Out()[0]); got != 10 {
+			t.Fatalf("Init must reset state: got %d", got)
+		}
+	})
 }
 
 func TestUnaryMathTotality(t *testing.T) {
@@ -157,32 +164,36 @@ func TestUnaryMathTotality(t *testing.T) {
 		In:  []model.Field{{Name: "x", Type: model.Float64}},
 		Out: []model.Field{{Name: "s", Type: model.Float64}, {Name: "l", Type: model.Float64, Offset: 8}},
 	}
-	m := New(p, nil)
-	m.Init()
-	m.Step([]uint64{model.EncodeFloat(model.Float64, -4)})
-	if model.DecodeFloat(model.Float64, m.Out()[0]) != 0 {
-		t.Error("sqrt of negative must be 0 (total)")
-	}
-	if model.DecodeFloat(model.Float64, m.Out()[1]) != 0 {
-		t.Error("log of negative must be 0 (total)")
-	}
-	m.Step([]uint64{model.EncodeFloat(model.Float64, math.E)})
-	if got := model.DecodeFloat(model.Float64, m.Out()[1]); math.Abs(got-1) > 1e-12 {
-		t.Errorf("log(e) = %v", got)
-	}
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		m := mk(p, nil)
+		m.Init()
+		m.Step([]uint64{model.EncodeFloat(model.Float64, -4)})
+		if model.DecodeFloat(model.Float64, m.Out()[0]) != 0 {
+			t.Error("sqrt of negative must be 0 (total)")
+		}
+		if model.DecodeFloat(model.Float64, m.Out()[1]) != 0 {
+			t.Error("log of negative must be 0 (total)")
+		}
+		m.Step([]uint64{model.EncodeFloat(model.Float64, math.E)})
+		if got := model.DecodeFloat(model.Float64, m.Out()[1]); math.Abs(got-1) > 1e-12 {
+			t.Errorf("log(e) = %v", got)
+		}
+	})
 }
 
 func TestShiftsMaskAmount(t *testing.T) {
-	got := model.DecodeInt(model.Int32, runBin(t, ir.OpShl, model.Int32,
-		model.EncodeInt(model.Int32, 1), model.EncodeInt(model.Int32, 33)))
-	if got != 2 { // 33 & 31 == 1
-		t.Errorf("shift mask: got %d, want 2", got)
-	}
-	got = model.DecodeInt(model.Int32, runBin(t, ir.OpShr, model.Int32,
-		model.EncodeInt(model.Int32, -8), model.EncodeInt(model.Int32, 1)))
-	if got != -4 { // arithmetic shift for signed
-		t.Errorf("arithmetic shift: got %d, want -4", got)
-	}
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		got := model.DecodeInt(model.Int32, runBinOn(t, mk, ir.OpShl, model.Int32,
+			model.EncodeInt(model.Int32, 1), model.EncodeInt(model.Int32, 33)))
+		if got != 2 { // 33 & 31 == 1
+			t.Errorf("shift mask: got %d, want 2", got)
+		}
+		got = model.DecodeInt(model.Int32, runBinOn(t, mk, ir.OpShr, model.Int32,
+			model.EncodeInt(model.Int32, -8), model.EncodeInt(model.Int32, 1)))
+		if got != -4 { // arithmetic shift for signed
+			t.Errorf("arithmetic shift: got %d, want -4", got)
+		}
+	})
 }
 
 func TestBoolOpsNormalize(t *testing.T) {
@@ -204,14 +215,16 @@ func TestBoolOpsNormalize(t *testing.T) {
 			{Name: "not", Type: model.Bool, Offset: 2},
 		},
 	}
-	m := New(p, nil)
-	m.Init()
-	m.Step([]uint64{1, 0})
-	if m.Out()[0] != 0 || m.Out()[1] != 1 || m.Out()[2] != 0 {
-		t.Errorf("bool ops: %v", m.Out())
-	}
-	m.Step([]uint64{1, 1})
-	if m.Out()[0] != 1 || m.Out()[1] != 0 {
-		t.Errorf("bool ops: %v", m.Out())
-	}
+	forEachBackend(t, func(t *testing.T, mk makeBackend) {
+		m := mk(p, nil)
+		m.Init()
+		m.Step([]uint64{1, 0})
+		if m.Out()[0] != 0 || m.Out()[1] != 1 || m.Out()[2] != 0 {
+			t.Errorf("bool ops: %v", m.Out())
+		}
+		m.Step([]uint64{1, 1})
+		if m.Out()[0] != 1 || m.Out()[1] != 0 {
+			t.Errorf("bool ops: %v", m.Out())
+		}
+	})
 }

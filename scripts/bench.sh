@@ -1,15 +1,16 @@
 #!/bin/sh
 # bench.sh — run the pinned benchmark set and write a machine-readable
-# snapshot (default BENCH_v8.json) for cross-PR performance tracking.
+# snapshot (default BENCH_v9.json) for cross-PR performance tracking.
 # The pinned set is the fast, stable subset of the root bench_test.go
-# harness: mutation-strategy costs, mutant-runner throughput, the full
-# harness orchestration path, and the original-vs-optimized VM comparison
-# (per-model it/s plus instruction counts before/after the optimizer).
+# harness: mutation-strategy costs, mutant-runner throughput (batched lanes
+# vs the sequential reference), the full harness orchestration path, the
+# original-vs-optimized VM comparison, the switch-vs-threaded backend
+# comparison, and the batch (SoA lanes) vs separate-machines comparison.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_v8.json}"
-pattern='^(BenchmarkTable1MutationStrategies|BenchmarkMutantKill|BenchmarkHarnessTable3|BenchmarkVMOptimized)$'
+out="${1:-BENCH_v9.json}"
+pattern='^(BenchmarkTable1MutationStrategies|BenchmarkMutantKill|BenchmarkHarnessTable3|BenchmarkVMOptimized|BenchmarkVMBackends|BenchmarkVMBatch)$'
 
 raw=$(go test -run '^$' -bench "$pattern" -benchtime 200ms .)
 echo "$raw" >&2

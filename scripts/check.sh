@@ -21,7 +21,7 @@ go vet ./...
 # and the shared coverage structures. (The later -short -race sweep covers
 # the rest of the tree.)
 echo "== lint: go test -race (concurrency packages) =="
-go test -race ./internal/fuzz ./internal/campaign ./internal/coverage
+go test -race ./internal/fuzz ./internal/campaign ./internal/coverage ./internal/vm ./internal/ir
 # The optimizer and mutation packages ride along in -short mode: their
 # property tests (1k-case lockstep sweeps, full mutant grinds) starve under
 # the race detector's ~15x slowdown.
@@ -30,13 +30,23 @@ go test -short -race ./internal/opt ./internal/mutate
 echo "== go build =="
 go build ./...
 
-echo "== go test =="
-go test ./...
+echo "== go test (shuffled) =="
+go test -shuffle=on ./...
 
 # Race mode runs -short: the headline campaign comparisons are
 # timing-sensitive and starve under the race detector's ~15x slowdown.
 echo "== go test -short -race =="
 go test -short -race ./...
+
+# Coverage floors on the load-bearing packages (VM backends, IR).
+echo "== coverage floors =="
+scripts/cover.sh
+
+# Native fuzz targets, briefly, past their committed corpora: the
+# cross-backend lockstep rig and the disassembler round-tripper.
+echo "== fuzz smoke =="
+go test ./internal/vm -run '^$' -fuzz '^FuzzVMBackendsLockstep$' -fuzztime 10s
+go test ./internal/ir -run '^$' -fuzz '^FuzzDisasmRoundTrip$' -fuzztime 5s
 
 # Mutation-testing smoke: generate mutants for a small model, kill them
 # with a freshly fuzzed suite, and require a mutation score in (0, 1].

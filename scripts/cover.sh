@@ -1,0 +1,22 @@
+#!/bin/sh
+# cover.sh — statement-coverage floors for the packages where correctness is
+# load-bearing: the VM backends (every campaign and every mutant grind
+# executes here) and the IR (programs, verifier, disassembler, generator).
+# Fails when a package drops below its committed floor. Floors ratchet up
+# with the test suite; lower one only with a reviewed justification.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+check() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	[ -n "$pct" ] || { echo "cover: no coverage line for $pkg"; exit 1; }
+	echo "cover: $pkg $pct% (floor $floor%)"
+	awk "BEGIN { exit !($pct >= $floor) }" </dev/null \
+		|| { echo "cover: $pkg coverage $pct% below floor $floor%"; exit 1; }
+}
+
+check internal/vm 85
+check internal/ir 80
